@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table benches: output directory handling,
+// timeseries CSV dumping, and a banner formatter. Each bench binary
+// regenerates one table/figure of the paper's evaluation (§6) and writes
+// plot-ready CSVs next to its stdout summary.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "serving/metrics.hpp"
+
+namespace loki::bench {
+
+/// Directory where benches drop their CSVs (created on demand).
+inline std::string output_dir() {
+  const char* env = std::getenv("LOKI_BENCH_OUT");
+  std::string dir = env ? env : "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Writes the four timeseries panels of Figs. 5/6 for one system.
+inline void write_timeseries_csv(const std::string& path,
+                                 const serving::Metrics& m) {
+  CsvTable table({"t_s", "demand_qps", "accuracy", "utilization",
+                  "slo_violation_ratio"});
+  const auto& demand = m.demand_series().points();
+  const auto& acc = m.accuracy_series().points();
+  const auto& viol = m.violation_series().points();
+  const auto& util = m.utilization_series().points();
+  // Demand/accuracy/violation series share the metrics window cadence;
+  // utilization runs on the heartbeat. Sample utilization at each window.
+  std::size_t ui = 0;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    const double tw = demand[i].t;
+    while (ui + 1 < util.size() && util[ui + 1].t <= tw) ++ui;
+    const double u = util.empty() ? 0.0 : util[ui].v;
+    const double a = i < acc.size() ? acc[i].v : 0.0;
+    const double v = i < viol.size() ? viol[i].v : 0.0;
+    table.add_row({tw, demand[i].v, a, u, v});
+  }
+  table.write(path);
+  std::printf("  wrote %s (%zu rows)\n", path.c_str(), table.rows());
+}
+
+}  // namespace loki::bench

@@ -1,0 +1,45 @@
+// Fig. 3 reproduction: the accuracy–throughput trade-off of the
+// EfficientNet car-classification variants (the curve accuracy scaling
+// exploits). The paper profiles EfficientNet on a V100; we print the
+// profiled per-GPU throughput of each variant at its SLO-feasible batch and
+// the family-normalized accuracy.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/flags.hpp"
+#include "profile/profiler.hpp"
+#include "profile/zoo.hpp"
+
+using namespace loki;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double budget_ms = flags.get_double("budget-ms", 125.0);
+
+  bench::banner("Fig. 3 — accuracy vs throughput (EfficientNet variants)");
+
+  profile::ModelProfiler profiler;
+  const auto catalog = profile::car_classification_catalog();
+
+  CsvTable csv({"variant", "normalized_accuracy", "raw_top1",
+                "throughput_qps", "batch", "latency_ms"});
+  std::printf("%-22s %10s %10s %10s %7s\n", "variant", "norm.acc", "QPS",
+              "batch", "lat(ms)");
+  for (const auto& v : catalog.variants()) {
+    if (v.family != "efficientnet") continue;  // Fig. 3 shows EfficientNet
+    const auto prof = profiler.profile(v);
+    const int batch = prof.best_batch_within(budget_ms / 1e3);
+    const double qps = batch > 0 ? prof.throughput_for(batch) : 0.0;
+    const double lat = batch > 0 ? prof.latency_for(batch) : 0.0;
+    std::printf("%-22s %10.3f %10.1f %10d %7.1f\n", v.name.c_str(),
+                v.accuracy, qps, batch, lat * 1e3);
+    csv.add_row({v.name, v.accuracy, v.raw_accuracy, qps,
+                 static_cast<std::int64_t>(batch), lat * 1e3});
+  }
+  csv.write(bench::output_dir() + "/fig3_accuracy_throughput.csv");
+  std::printf("\n  wrote %s/fig3_accuracy_throughput.csv\n",
+              bench::output_dir().c_str());
+  std::printf("  shape check: throughput decreases monotonically as accuracy"
+              " increases (paper Fig. 3)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fig. 5 reproduction: end-to-end comparison of Loki vs InferLine vs
+// Proteus on the traffic-analysis pipeline, driven by an Azure-shaped day
+// trace (time-compressed, shape-preserving — §6.1) scaled so peak demand
+// exceeds the hardware-scaling capacity of the cluster.
+//
+// Output: one timeseries CSV per system (demand / accuracy / utilization /
+// SLO-violation panels) plus the summary numbers the paper quotes — the
+// effective-capacity gain vs InferLine, the SLO-violation gap vs Proteus,
+// and the off-peak server reduction.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/flags.hpp"
+#include "baselines/inferline.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/experiment.hpp"
+#include "pipeline/pipelines.hpp"
+#include "profile/profiler.hpp"
+#include "trace/generator.hpp"
+
+using namespace loki;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double duration_s = flags.get_double("duration", 900.0);
+  const int cluster = static_cast<int>(flags.get_int("cluster", 20));
+  const double slo_ms = flags.get_double("slo-ms", 250.0);
+  const double peak_factor = flags.get_double("peak-factor", 0.80);
+
+  bench::banner("Fig. 5 — end-to-end comparison, traffic-analysis pipeline");
+
+  const auto graph = pipeline::traffic_analysis_pipeline();
+  profile::ModelProfiler profiler;
+  const auto profiles = serving::build_profile_table(graph, profiler);
+  const auto mult = pipeline::default_mult_factors(graph);
+
+  serving::AllocatorConfig acfg;
+  acfg.cluster_size = cluster;
+  acfg.slo_s = slo_ms / 1e3;
+
+  // Scale the trace the way the paper does: to the capacity of the cluster.
+  serving::MilpAllocator probe(acfg, &graph, profiles);
+  const double cap_loki = exp::find_capacity(probe, 10.0, 30000.0, mult, 10.0);
+  baselines::InferLineStrategy il_probe(acfg, &graph, profiles);
+  const double cap_il = exp::find_capacity(il_probe, 10.0, 30000.0, mult, 10.0);
+  const double peak = peak_factor * cap_loki;
+  std::printf("capacity: loki=%.0f QPS, inferline=%.0f QPS -> trace peak %.0f\n",
+              cap_loki, cap_il, peak);
+
+  trace::TraceConfig tcfg;
+  tcfg.shape = trace::TraceShape::kAzureDiurnal;
+  tcfg.duration_s = duration_s;
+  tcfg.peak_qps = peak;
+  tcfg.seed = 2024;
+  const auto curve = trace::generate_trace(tcfg);
+
+  const exp::SystemKind kinds[] = {exp::SystemKind::kLoki,
+                                   exp::SystemKind::kInferLine,
+                                   exp::SystemKind::kProteus};
+  std::vector<exp::ExperimentResult> results(3);
+  ThreadPool pool(3);
+  pool.parallel_for(3, [&](std::size_t i) {
+    exp::ExperimentConfig cfg;
+    cfg.system = kinds[i];
+    cfg.system_cfg.allocator = acfg;
+    cfg.system_cfg.metrics_window_s = duration_s / 120.0;
+    results[i] = exp::run_experiment(graph, curve, cfg);
+  });
+
+  std::printf("\n%-10s %10s %10s %10s %10s %10s\n", "system", "violations",
+              "accuracy", "servers", "p99(ms)", "queries");
+  for (const auto& r : results) {
+    std::printf("%-10s %10.4f %10.4f %10.2f %10.1f %10llu\n",
+                r.system_name.c_str(), r.slo_violation_ratio, r.mean_accuracy,
+                r.mean_servers_used, r.p99_latency_s * 1e3,
+                static_cast<unsigned long long>(r.arrivals));
+    bench::write_timeseries_csv(
+        bench::output_dir() + "/fig5_traffic_" + r.system_name + ".csv",
+        r.metrics);
+  }
+
+  const auto& loki_r = results[0];
+  const auto& il_r = results[1];
+  const auto& pr_r = results[2];
+  std::printf("\neffective capacity gain vs InferLine : %.2fx  [paper 2.5x]\n",
+              cap_il > 0 ? cap_loki / cap_il : 0.0);
+  std::printf("SLO-violation reduction vs Proteus   : %.1fx  [paper ~10x]\n",
+              loki_r.slo_violation_ratio > 0
+                  ? pr_r.slo_violation_ratio / loki_r.slo_violation_ratio
+                  : 0.0);
+  std::printf("SLO-violation reduction vs InferLine : %.1fx\n",
+              loki_r.slo_violation_ratio > 0
+                  ? il_r.slo_violation_ratio / loki_r.slo_violation_ratio
+                  : 0.0);
+  // Off-peak server reduction vs Proteus (always-on cluster).
+  const auto& loki_servers = loki_r.metrics.servers_series();
+  double off_peak_min = 1e18;
+  for (const auto& p : loki_servers.points()) {
+    off_peak_min = std::min(off_peak_min, p.v);
+  }
+  std::printf("off-peak server reduction vs Proteus : %.2fx  [paper 2.67x]\n",
+              off_peak_min > 0 ? static_cast<double>(cluster) / off_peak_min
+                               : 0.0);
+  return 0;
+}

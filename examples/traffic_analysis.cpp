@@ -1,0 +1,81 @@
+// Traffic-analysis scenario (the paper's motivating workload, Fig. 2a):
+// a city deploys intersection cameras; video frames flow through object
+// detection, then detected cars go to make/model classification and
+// detected persons to facial recognition.
+//
+// This example runs a full day-shaped demand cycle (time-compressed) and
+// shows Loki moving through its regimes: hardware scaling at night,
+// accuracy scaling at the evening peak, and back. It prints a compact
+// timeline so you can watch the transitions, then the day's summary.
+//
+// Run: ./build/examples/traffic_analysis [--duration 900] [--peak-factor 0.9]
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/inferline.hpp"
+#include "common/flags.hpp"
+#include "exp/experiment.hpp"
+#include "pipeline/pipelines.hpp"
+#include "profile/profiler.hpp"
+#include "trace/generator.hpp"
+
+using namespace loki;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double duration_s = flags.get_double("duration", 900.0);
+  const double peak_factor = flags.get_double("peak-factor", 0.90);
+
+  const auto graph = pipeline::traffic_analysis_pipeline();
+  const auto profiles =
+      serving::build_profile_table(graph, profile::ModelProfiler());
+  const auto mult = pipeline::default_mult_factors(graph);
+
+  std::printf("Traffic-analysis pipeline: %d tasks, %zu sinks\n",
+              graph.num_tasks(), graph.sinks().size());
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    std::printf("  task %d: %-20s (%d variants)\n", t,
+                graph.task(t).name.c_str(), graph.task(t).catalog.size());
+  }
+
+  // Size the day's peak against the cluster's accuracy-scaled capacity.
+  serving::AllocatorConfig acfg;
+  acfg.cluster_size = 20;
+  serving::MilpAllocator probe(acfg, &graph, profiles);
+  const double capacity = exp::find_capacity(probe, 10.0, 30000.0, mult, 10.0);
+  std::printf("cluster capacity (accuracy-scaled): %.0f QPS\n", capacity);
+
+  trace::TraceConfig tcfg;
+  tcfg.shape = trace::TraceShape::kAzureDiurnal;
+  tcfg.duration_s = duration_s;
+  tcfg.peak_qps = peak_factor * capacity;
+  const auto curve = trace::generate_trace(tcfg);
+
+  exp::ExperimentConfig cfg;
+  cfg.system = exp::SystemKind::kLoki;
+  cfg.system_cfg.allocator = acfg;
+  cfg.system_cfg.metrics_window_s = duration_s / 24.0;  // "hourly" windows
+  const auto result = exp::run_experiment(graph, curve, cfg);
+
+  std::printf("\n%-8s %10s %10s %12s %12s\n", "hour", "demand", "accuracy",
+              "utilization", "violations");
+  const auto& demand = result.metrics.demand_series().points();
+  const auto& acc = result.metrics.accuracy_series().points();
+  const auto& viol = result.metrics.violation_series().points();
+  const auto& util = result.metrics.utilization_series().points();
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    std::size_t ui = 0;
+    while (ui + 1 < util.size() && util[ui + 1].t <= demand[i].t) ++ui;
+    std::printf("%-8zu %10.0f %10.4f %12.2f %12.4f\n", i, demand[i].v,
+                i < acc.size() ? acc[i].v : 0.0,
+                util.empty() ? 0.0 : util[ui].v,
+                i < viol.size() ? viol[i].v : 0.0);
+  }
+
+  std::printf("\nday summary: %llu queries, %.2f%% SLO violations, "
+              "%.2f%% mean accuracy, %.1f/20 servers on average\n",
+              static_cast<unsigned long long>(result.arrivals),
+              100.0 * result.slo_violation_ratio,
+              100.0 * result.mean_accuracy, result.mean_servers_used);
+  return 0;
+}

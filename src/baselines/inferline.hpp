@@ -1,0 +1,34 @@
+// InferLine-style baseline (§6.1): pipeline-aware hardware scaling without
+// accuracy scaling. The client pins one model variant per task (the most
+// accurate, as in the paper's comparison); the strategy provisions the
+// minimum replicas that meet the (multiplied) demand and simply cannot add
+// capacity once the cluster is exhausted — which is where its SLO
+// violations shoot up in Figs. 5 and 6.
+#pragma once
+
+#include "serving/allocation.hpp"
+#include "serving/types.hpp"
+
+namespace loki::baselines {
+
+class InferLineStrategy : public serving::AllocationStrategy {
+ public:
+  /// `pinned_variants` optionally fixes the variant per task; default is
+  /// each task's most accurate variant.
+  InferLineStrategy(serving::AllocatorConfig cfg,
+                    const pipeline::PipelineGraph* graph,
+                    serving::ProfileTable profiles,
+                    std::vector<int> pinned_variants = {});
+
+  serving::AllocationPlan allocate(
+      double demand_qps, const pipeline::MultFactorTable& mult) override;
+  std::string name() const override { return "inferline"; }
+
+ private:
+  serving::AllocatorConfig cfg_;
+  const pipeline::PipelineGraph* graph_;
+  serving::ProfileTable profiles_;
+  std::vector<int> pinned_;
+};
+
+}  // namespace loki::baselines

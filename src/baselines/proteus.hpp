@@ -1,0 +1,43 @@
+// Proteus-style baseline (§6.1): accuracy scaling for single models,
+// pipeline-agnostic. Each task of the pipeline is managed as an independent
+// model:
+//   * per-task demand comes from *observed* arrivals at that task (no
+//     multiplicative-factor propagation — downstream demand is only seen
+//     after it materializes, so bottlenecks form during ramps);
+//   * the latency SLO is split evenly across tasks (no budget optimization);
+//   * variant selection maximizes the task's own accuracy, not the
+//     end-to-end path accuracy;
+//   * the whole cluster stays active at all times (no hardware scaling).
+#pragma once
+
+#include "serving/allocation.hpp"
+#include "serving/types.hpp"
+
+namespace loki::baselines {
+
+class ProteusStrategy : public serving::AllocationStrategy {
+ public:
+  ProteusStrategy(serving::AllocatorConfig cfg,
+                  const pipeline::PipelineGraph* graph,
+                  serving::ProfileTable profiles,
+                  double demand_ewma_alpha = 0.35);
+
+  serving::AllocationPlan allocate(
+      double demand_qps, const pipeline::MultFactorTable& mult) override;
+  std::string name() const override { return "proteus"; }
+
+  void observe_task_demand(const std::vector<double>& qps) override;
+
+  /// Observed per-task demand estimates (QPS), for tests.
+  const std::vector<double>& task_demand() const { return task_demand_; }
+
+ private:
+  serving::AllocatorConfig cfg_;
+  const pipeline::PipelineGraph* graph_;
+  serving::ProfileTable profiles_;
+  double alpha_;
+  std::vector<double> task_demand_;
+  std::vector<bool> demand_seen_;
+};
+
+}  // namespace loki::baselines

@@ -1,0 +1,145 @@
+#include "cluster/worker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace loki::cluster {
+
+Worker::Worker(int id, sim::Simulation* sim) : id_(id), sim_(sim) {
+  LOKI_CHECK(sim_ != nullptr);
+}
+
+std::vector<WorkItem> Worker::assign(int task, int variant,
+                                     const profile::ModelVariant* model,
+                                     int max_batch, bool swap_cost) {
+  LOKI_CHECK(model != nullptr);
+  LOKI_CHECK(max_batch >= 1);
+
+  const bool same_variant =
+      active() && task_ == task && variant_ == variant;
+  if (same_variant) {
+    // Only the batch parameter changes: no swap, keep the queue.
+    max_batch_ = max_batch;
+    return {};
+  }
+
+  // Different variant: flush the queue back to the caller and pay the load
+  // delay (if enabled) before serving again.
+  std::vector<WorkItem> flushed(queue_.begin(), queue_.end());
+  queue_.clear();
+  if (load_event_.valid()) {
+    sim_->cancel(load_event_);
+    load_event_ = {};
+  }
+  if (wait_event_.valid()) {
+    sim_->cancel(wait_event_);
+    wait_event_ = {};
+  }
+  task_ = task;
+  variant_ = variant;
+  model_ = model;
+  max_batch_ = max_batch;
+  if (swap_cost && model_->load_time_s > 0.0) {
+    loading_ = true;
+    load_event_ = sim_->schedule_after(model_->load_time_s, [this]() {
+      loading_ = false;
+      load_event_ = {};
+      maybe_start_batch();
+    });
+  } else {
+    loading_ = false;
+  }
+  return flushed;
+}
+
+std::vector<WorkItem> Worker::deactivate() {
+  std::vector<WorkItem> flushed(queue_.begin(), queue_.end());
+  queue_.clear();
+  if (load_event_.valid()) {
+    sim_->cancel(load_event_);
+    load_event_ = {};
+  }
+  if (wait_event_.valid()) {
+    sim_->cancel(wait_event_);
+    wait_event_ = {};
+  }
+  task_ = -1;
+  variant_ = -1;
+  model_ = nullptr;
+  loading_ = false;
+  return flushed;
+}
+
+void Worker::enqueue(WorkItem item) {
+  LOKI_CHECK_MSG(active(), "enqueue on deactivated worker " << id_);
+  queue_.push_back(item);
+  maybe_start_batch();
+}
+
+void Worker::maybe_start_batch() {
+  if (busy_ || loading_ || !active() || queue_.empty()) return;
+  // Micro-batching: briefly hold a partial batch to let it fill.
+  if (batch_wait_s_ > 0.0 &&
+      queue_.size() < static_cast<std::size_t>(max_batch_)) {
+    if (!wait_event_.valid()) {
+      wait_event_ = sim_->schedule_after(batch_wait_s_, [this]() {
+        wait_event_ = {};
+        if (!busy_ && !loading_ && active() && !queue_.empty()) {
+          start_batch();
+        }
+      });
+    }
+    return;
+  }
+  if (wait_event_.valid()) {
+    sim_->cancel(wait_event_);
+    wait_event_ = {};
+  }
+  start_batch();
+}
+
+void Worker::start_batch() {
+  // Form a batch of up to max_batch_ items, applying the batching-time drop
+  // filter (last-task early dropping).
+  std::vector<WorkItem> batch;
+  std::vector<WorkItem> dropped;
+  while (!queue_.empty() &&
+         batch.size() < static_cast<std::size_t>(max_batch_)) {
+    WorkItem item = queue_.front();
+    queue_.pop_front();
+    if (drop_filter_ && drop_filter_(*this, item)) {
+      dropped.push_back(item);
+    } else {
+      batch.push_back(item);
+    }
+  }
+  if (!dropped.empty() && on_dropped_) {
+    on_dropped_(*this, std::move(dropped));
+  }
+  if (batch.empty()) {
+    // Everything was dropped; re-check the queue.
+    if (!queue_.empty()) start_batch();
+    return;
+  }
+
+  double exec = model_->latency.latency_s(static_cast<int>(batch.size()));
+  if (jitter_) exec = std::max(1e-6, jitter_(exec));
+  busy_ = true;
+  inflight_ = batch.size();
+  busy_time_s_ += exec;
+  ++batches_;
+  items_ += batch.size();
+
+  // Snapshot the configuration executing this batch: a mid-batch
+  // reassignment must not change how the completed work is attributed.
+  const BatchContext ctx{task_, variant_, max_batch_, model_};
+  sim_->schedule_after(exec, [this, ctx, batch = std::move(batch)]() mutable {
+    busy_ = false;
+    inflight_ = 0;
+    if (on_batch_done_) on_batch_done_(*this, std::move(batch), ctx);
+    maybe_start_batch();
+  });
+}
+
+}  // namespace loki::cluster

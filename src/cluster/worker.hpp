@@ -1,0 +1,136 @@
+// Simulated GPU worker (§3 "Workers"): hosts one model-variant instance,
+// queues incoming (intermediate) queries, executes them in batches of up to
+// the configured maximum batch size, and pays a model-swap delay when the
+// Resource Manager reassigns it to a different variant.
+//
+// The worker is policy-free: batching-time drop decisions and post-execution
+// forwarding are delegated to callbacks installed by the serving runtime, so
+// the same worker serves Loki and both baselines.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "profile/variant.hpp"
+#include "sim/simulation.hpp"
+
+namespace loki::cluster {
+
+/// One unit of work: a (client query, task) stage flowing through a worker.
+struct WorkItem {
+  std::uint64_t query_id = 0;
+  int task = -1;
+  double enqueue_time = 0.0;   // when it entered this worker's queue
+  double deadline = 0.0;       // absolute end-to-end deadline
+  double accuracy_so_far = 1.0;  // product of upstream variant accuracies
+  /// Cumulative time over the per-task latency budgets so far — the "x" of
+  /// opportunistic rerouting (§5.2): the deficit a faster downstream path
+  /// must make up.
+  double debt_s = 0.0;
+};
+
+class Worker {
+ public:
+  /// Configuration snapshot taken when a batch starts. Completion callbacks
+  /// receive this snapshot rather than reading the worker's live config: the
+  /// Resource Manager may reassign the worker mid-batch, and the finished
+  /// work must be attributed to the variant that actually executed it.
+  struct BatchContext {
+    int task = -1;
+    int variant = -1;
+    int max_batch = 1;
+    const profile::ModelVariant* model = nullptr;
+  };
+
+  /// Called when a batch finishes executing.
+  using BatchDoneFn = std::function<void(Worker&, std::vector<WorkItem>&&,
+                                         const BatchContext&)>;
+  /// Batching-time filter: return true to drop the item *before* execution
+  /// (last-task early dropping, §5.2). Dropped items are reported through
+  /// this callback's side effects, not executed.
+  using DropFilterFn = std::function<bool(const Worker&, const WorkItem&)>;
+  /// Execution-time jitter hook: maps nominal batch latency to actual
+  /// (identity by default; the simulator-validation bench injects noise).
+  using JitterFn = std::function<double(double)>;
+
+  Worker(int id, sim::Simulation* sim);
+
+  /// Installs runtime callbacks. Must be set before any enqueue.
+  /// Items dropped by the batching-time filter (deadline already lost).
+  using DroppedFn = std::function<void(Worker&, std::vector<WorkItem>&&)>;
+
+  void set_batch_done(BatchDoneFn fn) { on_batch_done_ = std::move(fn); }
+  void set_drop_filter(DropFilterFn fn) { drop_filter_ = std::move(fn); }
+  void set_dropped_sink(DroppedFn fn) { on_dropped_ = std::move(fn); }
+  void set_jitter(JitterFn fn) { jitter_ = std::move(fn); }
+  /// Micro-batching: when the queue holds fewer than max_batch items, wait
+  /// up to this long for more before executing (0 = execute immediately).
+  /// Larger batches raise throughput at the cost of queueing latency —
+  /// the same trade-off the Resource Manager's batch-size choice makes at
+  /// planning time, exposed here at the worker level.
+  void set_batch_wait(double seconds) { batch_wait_s_ = seconds; }
+  double batch_wait_s() const { return batch_wait_s_; }
+
+  /// (Re)assigns this worker to host `variant` of `task` with the given
+  /// maximum batch size. If the variant changes and `swap_cost` is true the
+  /// worker becomes unavailable for the variant's load time. Items still in
+  /// the queue are returned to the caller for redistribution.
+  std::vector<WorkItem> assign(int task, int variant,
+                               const profile::ModelVariant* model,
+                               int max_batch, bool swap_cost);
+
+  /// Removes the hosted instance; returns queued items for redistribution.
+  std::vector<WorkItem> deactivate();
+
+  void enqueue(WorkItem item);
+
+  bool active() const { return model_ != nullptr; }
+  bool loading() const { return loading_; }
+  bool busy() const { return busy_; }
+  int id() const { return id_; }
+  int task() const { return task_; }
+  int variant() const { return variant_; }
+  int max_batch() const { return max_batch_; }
+  const profile::ModelVariant* model() const { return model_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  /// Queue plus in-flight batch size — the load metric used for
+  /// shortest-queue selection within an instance group.
+  std::size_t load() const { return queue_.size() + inflight_; }
+
+  /// Seconds of busy execution accumulated (utilization accounting).
+  double busy_time_s() const { return busy_time_s_; }
+  std::uint64_t batches_executed() const { return batches_; }
+  std::uint64_t items_executed() const { return items_; }
+
+ private:
+  void maybe_start_batch();
+  void start_batch();
+
+  int id_;
+  sim::Simulation* sim_;
+  int task_ = -1;
+  int variant_ = -1;
+  int max_batch_ = 1;
+  const profile::ModelVariant* model_ = nullptr;
+
+  bool busy_ = false;
+  bool loading_ = false;
+  std::size_t inflight_ = 0;
+  double batch_wait_s_ = 0.0;
+  std::deque<WorkItem> queue_;
+  sim::Simulation::EventId load_event_{};
+  sim::Simulation::EventId wait_event_{};
+
+  BatchDoneFn on_batch_done_;
+  DroppedFn on_dropped_;
+  DropFilterFn drop_filter_;
+  JitterFn jitter_;
+
+  double busy_time_s_ = 0.0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t items_ = 0;
+};
+
+}  // namespace loki::cluster

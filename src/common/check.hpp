@@ -1,0 +1,52 @@
+// Lightweight runtime-check macros used across the library.
+//
+// LOKI_CHECK is always on (release included): these guard invariants whose
+// violation would silently corrupt a simulation or an optimization model.
+// LOKI_DCHECK compiles out in NDEBUG builds and is for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace loki {
+
+/// Exception thrown by LOKI_CHECK failures. Deriving from logic_error keeps
+/// the failure catchable in tests without terminating the process.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LOKI_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace loki
+
+#define LOKI_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::loki::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LOKI_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream loki_check_os_;                                   \
+      loki_check_os_ << msg;                                               \
+      ::loki::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                   loki_check_os_.str());                  \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define LOKI_DCHECK(expr) ((void)0)
+#else
+#define LOKI_DCHECK(expr) LOKI_CHECK(expr)
+#endif

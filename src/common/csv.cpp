@@ -1,0 +1,71 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace loki {
+
+namespace {
+std::string escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string cell_to_string(const CsvTable::Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return escape(*s);
+  if (const auto* d = std::get_if<double>(&c)) {
+    std::ostringstream os;
+    os.precision(10);
+    os << *d;
+    return os.str();
+  }
+  return std::to_string(std::get<std::int64_t>(c));
+}
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LOKI_CHECK(!header_.empty());
+}
+
+void CsvTable::add_row(std::vector<Cell> row) {
+  LOKI_CHECK_MSG(row.size() == header_.size(),
+                 "row width " << row.size() << " != header width "
+                              << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << cell_to_string(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvTable::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvTable: cannot open " + path);
+  f << to_string();
+  if (!f) throw std::runtime_error("CsvTable: write failed for " + path);
+}
+
+}  // namespace loki

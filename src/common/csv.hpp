@@ -1,0 +1,33 @@
+// Minimal CSV table writer used by the benches to emit figure data that can
+// be plotted directly (one file per paper figure/table).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace loki {
+
+/// Column-typed CSV writer. Cells are strings, doubles, or integers; doubles
+/// are printed with enough precision to round-trip.
+class CsvTable {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit CsvTable(std::vector<std::string> header);
+
+  void add_row(std::vector<Cell> row);
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_string() const;
+  /// Writes to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace loki

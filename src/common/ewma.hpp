@@ -1,0 +1,75 @@
+// Exponentially-weighted moving average used by the Resource Manager to
+// estimate the demand it should provision for (§4.2 of the paper).
+#pragma once
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace loki {
+
+/// Classic discrete EWMA: estimate' = alpha * sample + (1-alpha) * estimate.
+class Ewma {
+ public:
+  /// alpha in (0, 1]; larger = more reactive.
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {
+    LOKI_CHECK(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void add(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return initialized_ ? value_ : 0.0; }
+  double alpha() const { return alpha_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// EWMA over irregularly-spaced samples: the decay applied to the previous
+/// estimate is exp(-dt / tau), so the estimator is invariant to the sampling
+/// cadence. Used by the demand estimator, which receives per-window counts.
+class TimeDecayEwma {
+ public:
+  /// tau: time constant in seconds.
+  explicit TimeDecayEwma(double tau) : tau_(tau) { LOKI_CHECK(tau > 0.0); }
+
+  void add(double t, double sample);
+  bool initialized() const { return initialized_; }
+  double value() const { return initialized_ ? value_ : 0.0; }
+
+ private:
+  double tau_;
+  double value_ = 0.0;
+  double last_t_ = 0.0;
+  bool initialized_ = false;
+};
+
+inline void TimeDecayEwma::add(double t, double sample) {
+  if (!initialized_) {
+    value_ = sample;
+    last_t_ = t;
+    initialized_ = true;
+    return;
+  }
+  const double dt = t - last_t_;
+  if (dt <= 0.0) {
+    value_ = 0.5 * (value_ + sample);  // coincident samples: average
+    return;
+  }
+  const double decay = std::exp(-dt / tau_);
+  value_ = decay * value_ + (1.0 - decay) * sample;
+  last_t_ = t;
+}
+
+}  // namespace loki

@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for the benches and examples.
+// Supports `--name=value`, `--name value`, and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace loki {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::runtime_error on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace loki

@@ -1,0 +1,81 @@
+// Deterministic random-number generation for the simulator and workload
+// generators.
+//
+// Every stochastic component of the system draws from its own named Rng
+// stream derived from a single experiment seed, so a whole end-to-end run is
+// reproducible bit-for-bit regardless of scheduling order between components.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace loki {
+
+/// splitmix64 step; used for seeding and for hashing stream names.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ generator: small, fast, and high quality; satisfies
+/// UniformRandomBitGenerator so it can also feed <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent, reproducible substream: the returned generator
+  /// is seeded from (current seed, hash(name)). Components should each take
+  /// a named substream of the experiment-level Rng.
+  Rng stream(std::string_view name) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with the given rate (events per unit time). rate > 0.
+  double exponential(double rate);
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// Poisson draw; uses inversion for small means and PTRS for large ones.
+  std::uint64_t poisson(double mean);
+  /// Log-normal such that the *mean* of the distribution equals `mean`.
+  double lognormal_mean(double mean, double sigma);
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_ = 0;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// FNV-1a hash of a string; stable across platforms, used for stream names.
+std::uint64_t hash_name(std::string_view name);
+
+}  // namespace loki

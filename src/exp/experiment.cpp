@@ -1,0 +1,138 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+
+#include "baselines/inferline.hpp"
+#include "baselines/proteus.hpp"
+#include "common/check.hpp"
+#include "profile/profiler.hpp"
+#include "sim/simulation.hpp"
+
+namespace loki::exp {
+
+std::string to_string(SystemKind k) {
+  switch (k) {
+    case SystemKind::kLoki: return "loki";
+    case SystemKind::kInferLine: return "inferline";
+    case SystemKind::kProteus: return "proteus";
+    case SystemKind::kGreedy: return "loki-greedy";
+  }
+  return "?";
+}
+
+std::unique_ptr<serving::AllocationStrategy> make_strategy(
+    SystemKind kind, const serving::AllocatorConfig& cfg,
+    const pipeline::PipelineGraph* graph,
+    const serving::ProfileTable& profiles) {
+  switch (kind) {
+    case SystemKind::kLoki:
+      return std::make_unique<serving::MilpAllocator>(cfg, graph, profiles);
+    case SystemKind::kGreedy:
+      return std::make_unique<serving::GreedyAllocator>(cfg, graph, profiles);
+    case SystemKind::kInferLine:
+      return std::make_unique<baselines::InferLineStrategy>(cfg, graph,
+                                                            profiles);
+    case SystemKind::kProteus:
+      return std::make_unique<baselines::ProteusStrategy>(cfg, graph,
+                                                          profiles);
+  }
+  LOKI_CHECK(false);
+  return nullptr;
+}
+
+ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
+                                const trace::DemandCurve& curve,
+                                const ExperimentConfig& cfg) {
+  profile::ModelProfiler profiler(profile::default_batch_set(),
+                                  /*repetitions=*/5, cfg.profiler_noise_frac,
+                                  cfg.profiler_seed);
+  serving::ProfileTable profiles =
+      serving::build_profile_table(graph, profiler);
+  auto strategy = make_strategy(cfg.system, cfg.system_cfg.allocator, &graph,
+                                profiles);
+
+  sim::Simulation sim;
+  serving::ServingSystem system(&sim, &graph, profiles, strategy.get(),
+                                cfg.system_cfg);
+  system.start();
+
+  // Stream arrivals: each arrival event submits and schedules the next one,
+  // keeping the event queue O(in-flight) instead of O(trace).
+  trace::ArrivalStream stream(curve, cfg.arrivals);
+  std::function<void()> pump = [&]() {
+    system.submit();
+    const double next = stream.next();
+    if (next >= 0.0) sim.schedule_at(next, pump);
+  };
+  const double first = stream.next();
+  if (first >= 0.0) sim.schedule_at(first, pump);
+
+  const double t_end = curve.duration_s() + cfg.drain_s;
+  sim.run_until(t_end);
+  system.finish(t_end);
+
+  ExperimentResult out;
+  out.system_name = to_string(cfg.system);
+  const auto& m = system.metrics();
+  out.slo_violation_ratio = m.slo_violation_ratio();
+  out.mean_accuracy = m.mean_accuracy();
+  out.mean_latency_s = m.mean_latency_s();
+  out.p99_latency_s = m.p99_latency_s();
+  out.mean_servers_used = m.mean_servers_used();
+  out.arrivals = m.arrivals();
+  out.drops = m.drops();
+  out.total_solve_time_s = system.total_solve_time_s();
+  out.allocations = system.allocations_performed();
+  out.metrics = m;
+  return out;
+}
+
+PlanProbe probe_plan(serving::AllocationStrategy& strategy,
+                     const pipeline::PipelineGraph& graph, double demand_qps) {
+  const auto mult = pipeline::default_mult_factors(graph);
+  const auto plan = strategy.allocate(demand_qps, mult);
+  PlanProbe probe;
+  probe.demand_qps = demand_qps;
+  probe.mode = plan.mode;
+  probe.expected_accuracy = plan.expected_accuracy;
+  probe.served_fraction = plan.served_fraction;
+  probe.servers_used = plan.servers_used;
+
+  // Flow-weighted mean variant accuracy per task.
+  probe.task_accuracy.assign(static_cast<std::size_t>(graph.num_tasks()), 0.0);
+  std::vector<double> weight(static_cast<std::size_t>(graph.num_tasks()), 0.0);
+  for (const auto& flow : plan.flows) {
+    for (std::size_t i = 0; i < flow.path.tasks.size(); ++i) {
+      const int t = flow.path.tasks[i];
+      const double a =
+          graph.task(t).catalog.at(flow.path.variants[i]).accuracy;
+      probe.task_accuracy[static_cast<std::size_t>(t)] += flow.fraction * a;
+      weight[static_cast<std::size_t>(t)] += flow.fraction;
+    }
+  }
+  for (std::size_t t = 0; t < probe.task_accuracy.size(); ++t) {
+    if (weight[t] > 1e-12) probe.task_accuracy[t] /= weight[t];
+    else probe.task_accuracy[t] = 1.0;
+  }
+  return probe;
+}
+
+double find_capacity(serving::AllocationStrategy& strategy, double lo,
+                     double hi, const pipeline::MultFactorTable& mult,
+                     double tol_qps) {
+  LOKI_CHECK(lo >= 0.0 && hi > lo && tol_qps > 0.0);
+  auto servable = [&](double qps) {
+    const auto plan = strategy.allocate(qps, mult);
+    return plan.served_fraction >= 1.0 - 1e-9;
+  };
+  if (!servable(lo)) return 0.0;
+  if (servable(hi)) return hi;
+  while (hi - lo > tol_qps) {
+    const double mid = 0.5 * (lo + hi);
+    if (servable(mid)) lo = mid;
+    else hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace loki::exp

@@ -1,0 +1,81 @@
+// End-to-end experiment driver: wires a pipeline, an allocation strategy, a
+// demand trace, and the discrete-event simulator into one run, producing the
+// summary numbers and timeseries the benches print. Also provides the
+// planner-level capacity search used by the Fig. 1 reproduction.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pipeline/graph.hpp"
+#include "serving/system.hpp"
+#include "trace/arrivals.hpp"
+#include "trace/generator.hpp"
+
+namespace loki::exp {
+
+/// Which serving system to run (§6.1 baselines).
+enum class SystemKind { kLoki, kInferLine, kProteus, kGreedy };
+
+std::string to_string(SystemKind k);
+
+/// Builds the strategy for `kind` over the given pipeline/profiles.
+std::unique_ptr<serving::AllocationStrategy> make_strategy(
+    SystemKind kind, const serving::AllocatorConfig& cfg,
+    const pipeline::PipelineGraph* graph,
+    const serving::ProfileTable& profiles);
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kLoki;
+  serving::SystemConfig system_cfg;
+  trace::ArrivalConfig arrivals;
+  /// Extra simulated time after the last arrival to drain in-flight queries.
+  double drain_s = 5.0;
+  /// Profiler measurement noise (0 = ideal profiles).
+  double profiler_noise_frac = 0.0;
+  std::uint64_t profiler_seed = 1;
+};
+
+struct ExperimentResult {
+  std::string system_name;
+  double slo_violation_ratio = 0.0;
+  double mean_accuracy = 0.0;
+  double mean_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_servers_used = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t drops = 0;
+  double total_solve_time_s = 0.0;
+  int allocations = 0;
+  serving::Metrics metrics;  // full timeseries for figure output
+};
+
+/// Runs one system against one demand curve.
+ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
+                                const trace::DemandCurve& curve,
+                                const ExperimentConfig& cfg);
+
+/// Planner-level capacity probe: the allocation plan Loki would produce for
+/// a constant demand (no simulation). Used by the Fig. 1 sweep.
+struct PlanProbe {
+  double demand_qps = 0.0;
+  serving::ScalingMode mode = serving::ScalingMode::kHardware;
+  double expected_accuracy = 1.0;
+  double served_fraction = 1.0;
+  int servers_used = 0;
+  /// Accuracy of the plan's per-task mix, split by task (diagnostics for
+  /// the phase-2/phase-3 distinction of Fig. 1): mean variant accuracy
+  /// weighted by planned flow, one entry per task.
+  std::vector<double> task_accuracy;
+};
+
+PlanProbe probe_plan(serving::AllocationStrategy& strategy,
+                     const pipeline::PipelineGraph& graph, double demand_qps);
+
+/// Largest constant demand (QPS) the strategy can serve with
+/// served_fraction == 1, found by bisection within [lo, hi].
+double find_capacity(serving::AllocationStrategy& strategy, double lo,
+                     double hi, const pipeline::MultFactorTable& mult,
+                     double tol_qps = 1.0);
+
+}  // namespace loki::exp

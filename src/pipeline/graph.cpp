@@ -1,0 +1,144 @@
+#include "pipeline/graph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace loki::pipeline {
+
+int PipelineGraph::add_task(std::string name, profile::VariantCatalog catalog) {
+  tasks_.push_back(Task{std::move(name), std::move(catalog)});
+  parents_.push_back(-1);
+  children_.emplace_back();
+  ratios_.emplace_back();
+  return num_tasks() - 1;
+}
+
+void PipelineGraph::add_edge(int parent, int child, double branch_ratio) {
+  LOKI_CHECK(parent >= 0 && parent < num_tasks());
+  LOKI_CHECK(child >= 0 && child < num_tasks());
+  LOKI_CHECK_MSG(parent != child, "self-loop on task " << parent);
+  LOKI_CHECK_MSG(parents_[static_cast<std::size_t>(child)] == -1,
+                 "task " << child << " already has a parent (must be a tree)");
+  LOKI_CHECK(branch_ratio > 0.0);
+  parents_[static_cast<std::size_t>(child)] = parent;
+  children_[static_cast<std::size_t>(parent)].push_back(child);
+  ratios_[static_cast<std::size_t>(parent)].push_back(branch_ratio);
+}
+
+void PipelineGraph::validate() const {
+  LOKI_CHECK_MSG(num_tasks() > 0, "pipeline has no tasks");
+  int roots = 0;
+  for (int t = 0; t < num_tasks(); ++t) {
+    if (parents_[static_cast<std::size_t>(t)] == -1) ++roots;
+    LOKI_CHECK_MSG(task(t).catalog.size() > 0,
+                   "task " << task(t).name << " has no model variants");
+  }
+  LOKI_CHECK_MSG(roots == 1, "pipeline must have exactly one root, found "
+                                 << roots);
+  // Reachability from the root covers all tasks (rules out disjoint cycles;
+  // per-child single-parent already rules out in-tree cycles).
+  const auto order = topological_order();
+  LOKI_CHECK_MSG(static_cast<int>(order.size()) == num_tasks(),
+                 "pipeline is not connected");
+}
+
+int PipelineGraph::root() const {
+  int r = -1;
+  for (int t = 0; t < num_tasks(); ++t) {
+    if (parents_[static_cast<std::size_t>(t)] == -1) {
+      LOKI_CHECK_MSG(r == -1, "multiple roots");
+      r = t;
+    }
+  }
+  LOKI_CHECK(r >= 0);
+  return r;
+}
+
+double PipelineGraph::branch_ratio(int parent, int child) const {
+  const auto& ch = children_.at(static_cast<std::size_t>(parent));
+  for (std::size_t i = 0; i < ch.size(); ++i) {
+    if (ch[i] == child) return ratios_[static_cast<std::size_t>(parent)][i];
+  }
+  LOKI_CHECK_MSG(false, "no edge " << parent << " -> " << child);
+  return 0.0;
+}
+
+std::vector<int> PipelineGraph::sinks() const {
+  std::vector<int> out;
+  for (int t = 0; t < num_tasks(); ++t) {
+    if (is_sink(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<int> PipelineGraph::topological_order() const {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_tasks()));
+  std::vector<int> stack{root()};
+  while (!stack.empty()) {
+    const int t = stack.back();
+    stack.pop_back();
+    order.push_back(t);
+    const auto& ch = children(t);
+    // Push in reverse so children are visited in insertion order.
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+int PipelineGraph::depth(int t) const {
+  int d = 0;
+  while (parent(t) != -1) {
+    t = parent(t);
+    ++d;
+    LOKI_CHECK_MSG(d <= num_tasks(), "cycle detected");
+  }
+  return d;
+}
+
+int PipelineGraph::max_depth() const {
+  int m = 0;
+  for (int t = 0; t < num_tasks(); ++t) m = std::max(m, depth(t));
+  return m;
+}
+
+std::vector<int> PipelineGraph::task_path_to(int target) const {
+  std::vector<int> path;
+  int t = target;
+  while (t != -1) {
+    path.push_back(t);
+    t = parent(t);
+    LOKI_CHECK(static_cast<int>(path.size()) <= num_tasks());
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<int> PipelineGraph::sinks_below(int t) const {
+  std::vector<int> out;
+  std::vector<int> stack{t};
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    if (is_sink(cur)) out.push_back(cur);
+    for (int c : children(cur)) stack.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+MultFactorTable default_mult_factors(const PipelineGraph& g) {
+  MultFactorTable table(static_cast<std::size_t>(g.num_tasks()));
+  for (int t = 0; t < g.num_tasks(); ++t) {
+    const auto& cat = g.task(t).catalog;
+    table[static_cast<std::size_t>(t)].reserve(
+        static_cast<std::size_t>(cat.size()));
+    for (const auto& v : cat.variants()) {
+      table[static_cast<std::size_t>(t)].push_back(v.mult_factor_mean);
+    }
+  }
+  return table;
+}
+
+}  // namespace loki::pipeline

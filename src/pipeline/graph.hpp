@@ -1,0 +1,78 @@
+// Inference pipeline graphs (§2.1): directed rooted trees whose vertices are
+// ML tasks, each with a catalog of model variants. The root receives client
+// queries; leaves (sinks) emit results; edges carry intermediate queries
+// scaled by the parent variant's multiplicative factor and the edge's branch
+// ratio (the fraction of the parent's outputs relevant to that child).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profile/variant.hpp"
+
+namespace loki::pipeline {
+
+struct Task {
+  std::string name;
+  profile::VariantCatalog catalog;
+};
+
+class PipelineGraph {
+ public:
+  explicit PipelineGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a task; returns its id (dense, 0-based).
+  int add_task(std::string name, profile::VariantCatalog catalog);
+
+  /// Adds a directed edge parent -> child. `branch_ratio` is the fraction of
+  /// the parent's outgoing intermediate queries routed to this child
+  /// (Algorithm 1's child.branchRatio).
+  void add_edge(int parent, int child, double branch_ratio = 1.0);
+
+  /// Verifies the rooted-tree invariants (§2.1): exactly one root, every
+  /// non-root has exactly one parent, no cycles, at least one task, positive
+  /// branch ratios, non-empty catalogs. Throws CheckFailure otherwise.
+  void validate() const;
+
+  const std::string& name() const { return name_; }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  const Task& task(int id) const { return tasks_.at(static_cast<std::size_t>(id)); }
+
+  /// Root task id. Requires a validated graph shape (asserts single root).
+  int root() const;
+  /// -1 for the root.
+  int parent(int task) const { return parents_.at(static_cast<std::size_t>(task)); }
+  const std::vector<int>& children(int task) const {
+    return children_.at(static_cast<std::size_t>(task));
+  }
+  double branch_ratio(int parent, int child) const;
+  bool is_sink(int task) const { return children(task).empty(); }
+  std::vector<int> sinks() const;
+
+  /// Tasks in parent-before-child order, starting at the root.
+  std::vector<int> topological_order() const;
+  /// Number of edges from the root (root = 0).
+  int depth(int task) const;
+  int max_depth() const;
+  /// Task ids along the unique root -> `target` path, inclusive.
+  std::vector<int> task_path_to(int target) const;
+  /// Sinks in the subtree rooted at `task` (task itself if a sink).
+  std::vector<int> sinks_below(int task) const;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<int> parents_;                // -1 when no parent
+  std::vector<std::vector<int>> children_;  // adjacency
+  std::vector<std::vector<double>> ratios_; // parallel to children_
+};
+
+/// Per-[task][variant] multiplicative factor table. The Resource Manager
+/// works from runtime-observed factors; this type carries either those
+/// estimates or the profiled defaults.
+using MultFactorTable = std::vector<std::vector<double>>;
+
+/// Builds the table from each variant's profiled mult_factor_mean.
+MultFactorTable default_mult_factors(const PipelineGraph& g);
+
+}  // namespace loki::pipeline

@@ -1,0 +1,108 @@
+#include "pipeline/paths.hpp"
+
+#include "common/check.hpp"
+
+namespace loki::pipeline {
+
+AugmentedGraph::AugmentedGraph(const PipelineGraph& g) {
+  first_vertex_of_task_.assign(static_cast<std::size_t>(g.num_tasks()), -1);
+  for (int t = 0; t < g.num_tasks(); ++t) {
+    first_vertex_of_task_[static_cast<std::size_t>(t)] =
+        static_cast<int>(vertices_.size());
+    for (int k = 0; k < g.task(t).catalog.size(); ++k) {
+      vertices_.push_back({t, k});
+    }
+  }
+  adj_.assign(vertices_.size(), {});
+  for (int t = 0; t < g.num_tasks(); ++t) {
+    for (int k = 0; k < g.task(t).catalog.size(); ++k) {
+      const int vid = vertex_id(t, k);
+      for (int child : g.children(t)) {
+        for (int k2 = 0; k2 < g.task(child).catalog.size(); ++k2) {
+          adj_[static_cast<std::size_t>(vid)].push_back(vertex_id(child, k2));
+        }
+      }
+    }
+  }
+}
+
+int AugmentedGraph::vertex_id(int task, int variant) const {
+  return first_vertex_of_task_.at(static_cast<std::size_t>(task)) + variant;
+}
+
+int AugmentedGraph::num_edges() const {
+  int n = 0;
+  for (const auto& a : adj_) n += static_cast<int>(a.size());
+  return n;
+}
+
+namespace {
+std::vector<VariantPath> enumerate_along(const PipelineGraph& g,
+                                         const std::vector<int>& tasks) {
+  std::vector<VariantPath> out;
+  std::vector<int> choice(tasks.size(), 0);
+  for (;;) {
+    VariantPath p;
+    p.sink = tasks.back();
+    p.tasks = tasks;
+    p.variants = choice;
+    out.push_back(std::move(p));
+    // Odometer increment, last position fastest (lexicographic output).
+    int pos = static_cast<int>(tasks.size()) - 1;
+    while (pos >= 0) {
+      const int limit =
+          g.task(tasks[static_cast<std::size_t>(pos)]).catalog.size();
+      if (++choice[static_cast<std::size_t>(pos)] < limit) break;
+      choice[static_cast<std::size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<VariantPath> enumerate_variant_paths(const PipelineGraph& g,
+                                                 int sink) {
+  LOKI_CHECK_MSG(g.is_sink(sink), "task " << sink << " is not a sink");
+  return enumerate_along(g, g.task_path_to(sink));
+}
+
+std::vector<VariantPrefix> enumerate_variant_prefixes(const PipelineGraph& g,
+                                                      int task) {
+  return enumerate_along(g, g.task_path_to(task));
+}
+
+double path_accuracy(const PipelineGraph& g, const VariantPath& p) {
+  double acc = 1.0;
+  for (std::size_t i = 0; i < p.tasks.size(); ++i) {
+    acc *= g.task(p.tasks[i]).catalog.at(p.variants[i]).accuracy;
+  }
+  return acc;
+}
+
+double path_multiplier(const PipelineGraph& g, const MultFactorTable& factors,
+                       const VariantPath& p, std::size_t pos) {
+  LOKI_CHECK(pos < p.tasks.size());
+  double m = 1.0;
+  for (std::size_t i = 0; i < pos; ++i) {
+    const int task = p.tasks[i];
+    const int variant = p.variants[i];
+    const double r =
+        factors.at(static_cast<std::size_t>(task)).at(static_cast<std::size_t>(variant));
+    m *= r * g.branch_ratio(task, p.tasks[i + 1]);
+  }
+  return m;
+}
+
+bool path_extends(const VariantPath& p, const VariantPrefix& prefix) {
+  if (prefix.tasks.size() > p.tasks.size()) return false;
+  for (std::size_t i = 0; i < prefix.tasks.size(); ++i) {
+    if (p.tasks[i] != prefix.tasks[i] || p.variants[i] != prefix.variants[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace loki::pipeline

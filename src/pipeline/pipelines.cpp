@@ -1,0 +1,47 @@
+#include "pipeline/pipelines.hpp"
+
+#include "profile/zoo.hpp"
+
+namespace loki::pipeline {
+
+namespace {
+constexpr double kCarBranchRatio = 2.0 / 3.0;
+constexpr double kPersonBranchRatio = 1.0 / 3.0;
+}  // namespace
+
+PipelineGraph traffic_analysis_pipeline() {
+  PipelineGraph g("traffic-analysis");
+  const int det = g.add_task("object-detection",
+                             profile::yolo_detection_catalog());
+  const int car = g.add_task("car-classification",
+                             profile::car_classification_catalog());
+  const int face = g.add_task("facial-recognition",
+                              profile::face_recognition_catalog());
+  g.add_edge(det, car, kCarBranchRatio);
+  g.add_edge(det, face, kPersonBranchRatio);
+  g.validate();
+  return g;
+}
+
+PipelineGraph traffic_analysis_two_task_pipeline() {
+  PipelineGraph g("traffic-analysis-2task");
+  const int det = g.add_task("object-detection",
+                             profile::yolo_detection_catalog());
+  const int car = g.add_task("car-classification",
+                             profile::car_classification_catalog());
+  g.add_edge(det, car, kCarBranchRatio);
+  g.validate();
+  return g;
+}
+
+PipelineGraph social_media_pipeline() {
+  PipelineGraph g("social-media");
+  const int cls = g.add_task("image-classification",
+                             profile::image_classification_catalog());
+  const int cap = g.add_task("image-captioning", profile::captioning_catalog());
+  g.add_edge(cls, cap, 1.0);
+  g.validate();
+  return g;
+}
+
+}  // namespace loki::pipeline

@@ -1,0 +1,33 @@
+// The evaluation pipelines of Fig. 2, assembled from the built-in model zoo.
+#pragma once
+
+#include "pipeline/graph.hpp"
+
+namespace loki::pipeline {
+
+/// Traffic-analysis pipeline (Fig. 2a): object detection (YOLOv5) at the
+/// root, fanning out to car classification (EfficientNet/MobileNet) and
+/// facial recognition (VGG-Face). Branch ratios: 2/3 of detected objects
+/// are cars, 1/3 persons.
+PipelineGraph traffic_analysis_pipeline();
+
+/// The two-task variant used for the capacity-phases illustration (Fig. 1):
+/// detection -> car classification only.
+PipelineGraph traffic_analysis_two_task_pipeline();
+
+/// Social-media pipeline (Fig. 2b): image classification (ResNet) followed
+/// by image captioning (CLIP-ViT); one caption request per image.
+PipelineGraph social_media_pipeline();
+
+/// Task ids within the built-in pipelines, for readable test/bench code.
+struct TrafficTasks {
+  static constexpr int kDetection = 0;
+  static constexpr int kCarClassification = 1;
+  static constexpr int kFacialRecognition = 2;
+};
+struct SocialTasks {
+  static constexpr int kClassification = 0;
+  static constexpr int kCaptioning = 1;
+};
+
+}  // namespace loki::pipeline

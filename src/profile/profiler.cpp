@@ -1,0 +1,98 @@
+#include "profile/profiler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace loki::profile {
+
+int BatchProfile::index_of(int batch) const {
+  for (int i = 0; i < size(); ++i) {
+    if (batches[i] == batch) return i;
+  }
+  return -1;
+}
+
+double BatchProfile::latency_for(int batch) const {
+  const int i = index_of(batch);
+  LOKI_CHECK_MSG(i >= 0, "batch " << batch << " not profiled");
+  return latency_s[i];
+}
+
+double BatchProfile::throughput_for(int batch) const {
+  const int i = index_of(batch);
+  LOKI_CHECK_MSG(i >= 0, "batch " << batch << " not profiled");
+  return throughput_qps[i];
+}
+
+int BatchProfile::max_batch_within(double budget_s) const {
+  int best = -1;
+  for (int i = 0; i < size(); ++i) {
+    if (latency_s[i] <= budget_s) best = batches[i];
+  }
+  return best;
+}
+
+int BatchProfile::best_batch_within(double budget_s) const {
+  int best = -1;
+  double best_q = 0.0;
+  for (int i = 0; i < size(); ++i) {
+    if (latency_s[i] <= budget_s && throughput_qps[i] > best_q) {
+      best_q = throughput_qps[i];
+      best = batches[i];
+    }
+  }
+  return best;
+}
+
+const std::vector<int>& default_batch_set() {
+  static const std::vector<int> kBatches{1, 2, 4, 8, 16, 32};
+  return kBatches;
+}
+
+ModelProfiler::ModelProfiler(std::vector<int> allowed_batches, int repetitions,
+                             double noise_frac, std::uint64_t seed)
+    : batches_(std::move(allowed_batches)),
+      repetitions_(repetitions),
+      noise_frac_(noise_frac),
+      rng_(seed) {
+  LOKI_CHECK(!batches_.empty());
+  LOKI_CHECK(std::is_sorted(batches_.begin(), batches_.end()));
+  LOKI_CHECK(batches_.front() >= 1);
+  LOKI_CHECK(repetitions_ >= 1);
+  LOKI_CHECK(noise_frac_ >= 0.0);
+}
+
+BatchProfile ModelProfiler::profile(const ModelVariant& v) const {
+  BatchProfile p;
+  p.batches = batches_;
+  p.latency_s.reserve(batches_.size());
+  p.throughput_qps.reserve(batches_.size());
+  for (int b : batches_) {
+    const double truth = v.latency.latency_s(b);
+    std::vector<double> measurements;
+    measurements.reserve(static_cast<std::size_t>(repetitions_));
+    for (int rep = 0; rep < repetitions_; ++rep) {
+      double m = truth;
+      if (noise_frac_ > 0.0) {
+        m = std::max(truth * 0.5, rng_.normal(truth, truth * noise_frac_));
+      }
+      measurements.push_back(m);
+    }
+    std::sort(measurements.begin(), measurements.end());
+    const double median = measurements[measurements.size() / 2];
+    p.latency_s.push_back(median);
+    p.throughput_qps.push_back(static_cast<double>(b) / median);
+  }
+  return p;
+}
+
+std::vector<BatchProfile> ModelProfiler::profile_catalog(
+    const VariantCatalog& c) const {
+  std::vector<BatchProfile> out;
+  out.reserve(static_cast<std::size_t>(c.size()));
+  for (const auto& v : c.variants()) out.push_back(profile(v));
+  return out;
+}
+
+}  // namespace loki::profile

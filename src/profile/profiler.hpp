@@ -1,0 +1,60 @@
+// Model Profiler (§3): measures per-variant batched latency/throughput
+// tables during system setup and stores them for the Resource Manager.
+//
+// In the paper this times ONNX-runtime executions on a GPU; here it "times"
+// the variant's latency model, optionally perturbed by measurement noise,
+// and aggregates repetitions the way a real profiler would. The rest of the
+// system only ever sees the resulting BatchProfile tables.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "profile/variant.hpp"
+
+namespace loki::profile {
+
+/// Profiled latency/throughput per allowed batch size for one variant.
+struct BatchProfile {
+  std::vector<int> batches;         // ascending
+  std::vector<double> latency_s;    // per batch entry
+  std::vector<double> throughput_qps;
+
+  int size() const { return static_cast<int>(batches.size()); }
+  /// Index of `batch` in the table, -1 when absent.
+  int index_of(int batch) const;
+  double latency_for(int batch) const;
+  double throughput_for(int batch) const;
+  /// Largest batch whose profiled latency fits `budget_s`; -1 if none does.
+  int max_batch_within(double budget_s) const;
+  /// Entry with maximum throughput subject to latency <= budget_s; -1 if none.
+  int best_batch_within(double budget_s) const;
+};
+
+/// Default allowed batch set B used across the evaluation.
+const std::vector<int>& default_batch_set();
+
+class ModelProfiler {
+ public:
+  /// noise_frac: relative stddev of simulated per-measurement jitter
+  /// (0 = ideal profiler). repetitions: timed runs per batch size; the
+  /// profiler records the median, like real serving profilers do.
+  ModelProfiler(std::vector<int> allowed_batches = default_batch_set(),
+                int repetitions = 5, double noise_frac = 0.0,
+                std::uint64_t seed = 1);
+
+  BatchProfile profile(const ModelVariant& variant) const;
+
+  /// Profiles a whole catalog in order.
+  std::vector<BatchProfile> profile_catalog(const VariantCatalog& c) const;
+
+  const std::vector<int>& allowed_batches() const { return batches_; }
+
+ private:
+  std::vector<int> batches_;
+  int repetitions_;
+  double noise_frac_;
+  mutable Rng rng_;
+};
+
+}  // namespace loki::profile

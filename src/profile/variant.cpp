@@ -1,0 +1,45 @@
+#include "profile/variant.hpp"
+
+namespace loki::profile {
+
+LatencyModel LatencyModel::from_design_point(double qps_at_ref, int ref_batch,
+                                             double asymptote_factor) {
+  LOKI_CHECK(qps_at_ref > 0.0);
+  LOKI_CHECK(ref_batch >= 1);
+  LOKI_CHECK(asymptote_factor > 1.0);
+  LatencyModel m;
+  // q(inf) = 1 / per_item  = asymptote_factor * qps_at_ref
+  m.per_item_s = 1.0 / (asymptote_factor * qps_at_ref);
+  // lat(ref) = ref / qps_at_ref  =>  base = ref/q_ref - ref*per_item
+  m.base_s = static_cast<double>(ref_batch) / qps_at_ref -
+             static_cast<double>(ref_batch) * m.per_item_s;
+  LOKI_CHECK(m.base_s > 0.0);
+  return m;
+}
+
+int VariantCatalog::add(ModelVariant v) {
+  LOKI_CHECK_MSG(v.accuracy > 0.0 && v.accuracy <= 1.0,
+                 "variant " << v.name << " accuracy must be in (0,1]");
+  LOKI_CHECK(v.latency.per_item_s > 0.0);
+  LOKI_CHECK(!find(v.name).has_value());
+  variants_.push_back(std::move(v));
+  return static_cast<int>(variants_.size()) - 1;
+}
+
+int VariantCatalog::most_accurate() const {
+  LOKI_CHECK(!variants_.empty());
+  int best = 0;
+  for (int i = 1; i < size(); ++i) {
+    if (variants_[i].accuracy > variants_[best].accuracy) best = i;
+  }
+  return best;
+}
+
+std::optional<int> VariantCatalog::find(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (variants_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace loki::profile

@@ -1,0 +1,87 @@
+// Model variants and their performance profiles.
+//
+// A "model variant" (§2.1) is one member of a model family (YOLOv5n..x,
+// EfficientNet-b0..b7, ...) serving the same task at a different
+// accuracy/compute point. Loki's algorithms consume only the numbers here —
+// accuracy, throughput vs batch size, multiplicative factor — never real
+// tensors, which is what makes a simulated reproduction faithful.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace loki::profile {
+
+/// Batched execution latency model: lat(b) = base_s + per_item_s * b.
+/// This affine shape matches measured GPU inference curves closely: a fixed
+/// kernel-launch/IO overhead plus per-sample compute, with throughput
+/// saturating at 1/per_item_s as the batch grows.
+struct LatencyModel {
+  double base_s = 0.0;
+  double per_item_s = 0.0;
+
+  double latency_s(int batch) const {
+    LOKI_DCHECK(batch >= 1);
+    return base_s + per_item_s * static_cast<double>(batch);
+  }
+  /// Steady-state throughput (QPS) when running back-to-back batches of
+  /// size `batch`.
+  double throughput_qps(int batch) const {
+    return static_cast<double>(batch) / latency_s(batch);
+  }
+
+  /// Builds a model from a design point: target throughput at a reference
+  /// batch size plus the asymptotic headroom factor (q(inf)/q(ref)).
+  static LatencyModel from_design_point(double qps_at_ref, int ref_batch,
+                                        double asymptote_factor = 1.15);
+};
+
+/// One model variant of one task.
+struct ModelVariant {
+  std::string family;  // e.g. "yolov5"
+  std::string name;    // e.g. "yolov5x"
+  /// Accuracy normalized by the most accurate variant of the family (the
+  /// paper normalizes the same way, §6.1).
+  double accuracy = 1.0;
+  /// Published raw metric (mAP, top-1, ...) for documentation.
+  double raw_accuracy = 0.0;
+  LatencyModel latency;
+  /// Mean number of outgoing intermediate queries generated per incoming
+  /// query (r(i,k), §4). 0 for variants of sink tasks that emit results only.
+  double mult_factor_mean = 1.0;
+  /// Dispersion of the multiplicative factor when sampled at runtime;
+  /// the simulator draws Poisson-like counts with this overdispersion.
+  double mult_factor_dispersion = 0.25;
+  /// Time to load this variant onto a worker (model swap cost).
+  double load_time_s = 2.0;
+  double memory_mb = 0.0;
+};
+
+/// The set of variants available for one task, ordered by construction.
+class VariantCatalog {
+ public:
+  VariantCatalog() = default;
+  explicit VariantCatalog(std::string task_kind)
+      : task_kind_(std::move(task_kind)) {}
+
+  int add(ModelVariant v);
+
+  int size() const { return static_cast<int>(variants_.size()); }
+  const ModelVariant& at(int idx) const { return variants_.at(idx); }
+  const std::vector<ModelVariant>& variants() const { return variants_; }
+  const std::string& task_kind() const { return task_kind_; }
+
+  /// Index of the most accurate variant (ties: first added).
+  int most_accurate() const;
+  /// Index by variant name; nullopt when absent.
+  std::optional<int> find(const std::string& name) const;
+
+ private:
+  std::string task_kind_;
+  std::vector<ModelVariant> variants_;
+};
+
+}  // namespace loki::profile

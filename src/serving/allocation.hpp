@@ -1,0 +1,155 @@
+// The Resource Manager's allocator (§4): formulates hardware scaling and
+// accuracy scaling as MILPs over the augmented pipeline graph and solves
+// them with the branch-and-bound solver, seeded by a greedy incumbent.
+//
+// Linearization (DESIGN.md §2): the paper's q(i,k,y(i,k)) term is nonlinear
+// in the batch variable y. We enumerate a small grid of latency-budget
+// splits across pipeline depth levels; a split fixes the best feasible
+// batch per (task, variant), after which the model is a pure MILP with
+// integer instance counts n(i,k) and continuous path flows c(p). Taking the
+// best solution across splits recovers the batch-size degree of freedom.
+// The same budget split yields the per-task latency budgets that §5.2's
+// early-dropping policies consume.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "pipeline/paths.hpp"
+#include "profile/profiler.hpp"
+#include "serving/types.hpp"
+#include "solver/milp.hpp"
+
+namespace loki::serving {
+
+struct AllocatorConfig {
+  int cluster_size = 20;
+  /// End-to-end pipeline latency SLO (seconds).
+  double slo_s = 0.250;
+  /// Homogeneous per-hop network latency between workers (§4.2 subtracts
+  /// hop-count * comm from the SLO before allocating).
+  double comm_latency_s = 0.002;
+  /// Queueing headroom rule from §4.1: plan within SLO * queue_factor
+  /// (the paper divides the SLO by two).
+  double queue_factor = 0.5;
+  /// Grid resolution for splitting the latency budget across depth levels.
+  int budget_grid = 7;
+  /// Per-replica objective bonus for keeping a variant that the previous
+  /// plan already hosts (avoids swap storms). In system-accuracy units.
+  double continuity_bonus = 2e-4;
+  /// Provisioning utilization target: capacity constraints use
+  /// q_eff = utilization_target * q so queues stay stable. Planning to 100%
+  /// of profiled throughput leaves no queueing headroom and the SLO/2 rule
+  /// no longer holds under stochastic arrivals; 0.85 keeps single-replica
+  /// groups (the low-demand regime) out of the heavy-queueing region.
+  double utilization_target = 0.85;
+  solver::MilpOptions milp = default_milp_options();
+
+  static solver::MilpOptions default_milp_options();
+};
+
+/// Per-(task, variant) batch configuration chosen by a budget split.
+struct VariantConfig {
+  int variant = -1;
+  int batch = -1;
+  double throughput_qps = 0.0;  // q(i,k,b*) at the chosen batch
+  double latency_s = 0.0;       // profiled batch execution latency
+};
+
+/// Profiles for every variant of every task: profiles[task][variant].
+using ProfileTable = std::vector<std::vector<profile::BatchProfile>>;
+
+/// Feasible configs per task under some latency budgets: configs[task][j].
+using ConfigTable = std::vector<std::vector<VariantConfig>>;
+
+/// Builds the profile table for a pipeline with the given profiler.
+ProfileTable build_profile_table(const pipeline::PipelineGraph& g,
+                                 const profile::ModelProfiler& profiler);
+
+/// The latency-budget split grid: each entry is a positive weight vector
+/// over pipeline depth levels (compositions of `budget_grid` parts).
+std::vector<std::vector<double>> budget_splits(const AllocatorConfig& cfg,
+                                               const pipeline::PipelineGraph& g);
+
+/// Per-task latency budget for one split: the task at depth d on a path to
+/// sink s gets weight[d] / (sum of weights on that path) of the path's
+/// planning budget (SLO * queue_factor - hops * comm); tasks shared by
+/// several sinks take the minimum.
+std::vector<double> task_budgets_for_split(
+    const AllocatorConfig& cfg, const pipeline::PipelineGraph& g,
+    const std::vector<double>& level_weights);
+
+/// The best-throughput latency-feasible batch config per (task, variant);
+/// variants with no feasible batch are omitted. Throughputs are derated by
+/// `utilization_target` (latencies stay profiled).
+ConfigTable feasible_configs(const pipeline::PipelineGraph& g,
+                             const ProfileTable& profiles,
+                             const std::vector<double>& task_budgets,
+                             double utilization_target = 1.0);
+
+/// Greedy allocator used (a) to seed the MILP with an incumbent and (b) as
+/// the ablation baseline for bench/abl_allocator. Picks one variant per
+/// task, starting from the most accurate assignment and repeatedly
+/// degrading the task with the best server-savings-per-accuracy-loss until
+/// the demand fits the cluster (the intuition behind Fig. 1's phases).
+class GreedyAllocator : public AllocationStrategy {
+ public:
+  GreedyAllocator(AllocatorConfig cfg, const pipeline::PipelineGraph* graph,
+                  ProfileTable profiles);
+
+  AllocationPlan allocate(double demand_qps,
+                          const pipeline::MultFactorTable& mult) override;
+  std::string name() const override { return "greedy"; }
+
+ private:
+  AllocatorConfig cfg_;
+  const pipeline::PipelineGraph* graph_;
+  ProfileTable profiles_;
+};
+
+/// Loki's MILP allocator (§4.1): step 1 hardware scaling (minimize servers,
+/// most-accurate variants only), step 2 accuracy scaling (maximize system
+/// accuracy with the full cluster), step 3 overload (maximize served
+/// fraction, then accuracy).
+class MilpAllocator : public AllocationStrategy {
+ public:
+  MilpAllocator(AllocatorConfig cfg, const pipeline::PipelineGraph* graph,
+                ProfileTable profiles);
+
+  AllocationPlan allocate(double demand_qps,
+                          const pipeline::MultFactorTable& mult) override;
+  std::string name() const override { return "loki-milp"; }
+
+  const AllocatorConfig& config() const { return cfg_; }
+
+ private:
+  struct MilpResult {
+    bool feasible = false;
+    AllocationPlan plan;
+  };
+
+  /// Solves one MILP for one budget split. `hardware_only` restricts each
+  /// task to its most accurate variant and minimizes servers; otherwise
+  /// maximizes accuracy. `served_fraction_mode` relaxes the demand
+  /// constraint and maximizes the served fraction first.
+  MilpResult solve_step(const std::vector<double>& task_budgets,
+                        double demand_qps,
+                        const pipeline::MultFactorTable& mult,
+                        bool hardware_only, bool served_fraction_mode) const;
+
+  AllocatorConfig cfg_;
+  const pipeline::PipelineGraph* graph_;
+  ProfileTable profiles_;
+  /// Variants hosted by the previous plan, per task. The accuracy objective
+  /// gets a tiny per-replica bonus for reusing them: successive MILP solves
+  /// otherwise flip between near-equal mixes, and every flip costs real
+  /// model-swap downtime at runtime (plan-continuity regularization).
+  std::vector<std::vector<bool>> prev_variants_;
+  /// Budget-split MILPs are independent; they solve concurrently. The pool
+  /// is lazily sized to the split count.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace loki::serving

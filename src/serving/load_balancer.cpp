@@ -1,0 +1,148 @@
+#include "serving/load_balancer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace loki::serving {
+
+LoadBalancer::LoadBalancer(const pipeline::PipelineGraph* graph,
+                           const ProfileTable* profiles,
+                           double utilization_target)
+    : graph_(graph), profiles_(profiles),
+      utilization_target_(utilization_target) {
+  LOKI_CHECK(graph_ != nullptr && profiles_ != nullptr);
+  LOKI_CHECK(utilization_target_ > 0.0 && utilization_target_ <= 1.0);
+}
+
+RoutingPlan LoadBalancer::most_accurate_first(
+    const AllocationPlan& plan, double demand_qps,
+    const pipeline::MultFactorTable& mult) const {
+  const auto& g = *graph_;
+  const int ngroups = static_cast<int>(plan.instances.size());
+
+  RoutingPlan out;
+  out.group_routes.assign(static_cast<std::size_t>(ngroups), {});
+  out.backup_per_task.assign(static_cast<std::size_t>(g.num_tasks()), {});
+  out.group_exec_s.assign(static_cast<std::size_t>(ngroups), 0.0);
+  out.group_incoming_qps.assign(static_cast<std::size_t>(ngroups), 0.0);
+
+  // Per-group capacity (replicas * profiled throughput at configured batch)
+  // and bookkeeping, mirroring Algorithm 1's worker metadata.
+  std::vector<double> capacity(static_cast<std::size_t>(ngroups), 0.0);
+  std::vector<double> incoming(static_cast<std::size_t>(ngroups), 0.0);
+  std::vector<std::vector<int>> groups_of_task(
+      static_cast<std::size_t>(g.num_tasks()));
+  for (int gi = 0; gi < ngroups; ++gi) {
+    const auto& ic = plan.instances[static_cast<std::size_t>(gi)];
+    const auto& prof = (*profiles_)[static_cast<std::size_t>(ic.task)]
+                                   [static_cast<std::size_t>(ic.variant)];
+    capacity[static_cast<std::size_t>(gi)] =
+        static_cast<double>(ic.replicas) * prof.throughput_for(ic.batch) *
+        utilization_target_;
+    out.group_exec_s[static_cast<std::size_t>(gi)] =
+        prof.latency_for(ic.batch);
+    groups_of_task[static_cast<std::size_t>(ic.task)].push_back(gi);
+  }
+
+  // Sort each task's groups by single-model accuracy descending (tie:
+  // higher throughput, then lower index) — Algorithm 1 line 5/11.
+  for (auto& gs : groups_of_task) {
+    std::sort(gs.begin(), gs.end(), [&](int a, int b) {
+      const auto& ia = plan.instances[static_cast<std::size_t>(a)];
+      const auto& ib = plan.instances[static_cast<std::size_t>(b)];
+      const double aa = g.task(ia.task).catalog.at(ia.variant).accuracy;
+      const double ab = g.task(ib.task).catalog.at(ib.variant).accuracy;
+      if (aa != ab) return aa > ab;
+      if (capacity[static_cast<std::size_t>(a)] !=
+          capacity[static_cast<std::size_t>(b)]) {
+        return capacity[static_cast<std::size_t>(a)] >
+               capacity[static_cast<std::size_t>(b)];
+      }
+      return a < b;
+    });
+  }
+
+  // Assigns `amount` QPS across `targets` (accuracy-ordered) respecting
+  // remaining capacities; returns (group, routed qps) pairs.
+  auto assign_demand = [&](double amount, const std::vector<int>& targets) {
+    std::vector<std::pair<int, double>> routed;
+    double remaining = amount;
+    for (int gi : targets) {
+      if (remaining <= 1e-12) break;
+      double& cap = capacity[static_cast<std::size_t>(gi)];
+      const double take = std::min(remaining, cap);
+      if (take <= 1e-12) continue;
+      routed.push_back({gi, take});
+      cap -= take;
+      remaining -= take;
+      incoming[static_cast<std::size_t>(gi)] += take;
+    }
+    return routed;
+  };
+
+  // Frontend -> root groups. In overload the plan serves only a fraction of
+  // demand; MostAccurateFirst places what capacity allows and the frontend
+  // sheds the remainder (probabilities sum < 1).
+  const int root = g.root();
+  const double root_demand = demand_qps;
+  if (root_demand > 1e-12) {
+    const auto routed = assign_demand(
+        root_demand, groups_of_task[static_cast<std::size_t>(root)]);
+    for (const auto& [gi, qps] : routed) {
+      out.frontend.push_back({gi, qps / root_demand});
+    }
+  } else {
+    // No demand estimate yet: route everything to the most accurate group.
+    const auto& gs = groups_of_task[static_cast<std::size_t>(root)];
+    if (!gs.empty()) out.frontend.push_back({gs.front(), 1.0});
+    if (!gs.empty()) incoming[static_cast<std::size_t>(gs.front())] = 0.0;
+  }
+
+  // Process tasks topologically; for each group, distribute its outgoing
+  // intermediate demand to child groups (Algorithm 1 lines 4-20).
+  for (int t : g.topological_order()) {
+    for (int gi : groups_of_task[static_cast<std::size_t>(t)]) {
+      const auto& ic = plan.instances[static_cast<std::size_t>(gi)];
+      const double inc = incoming[static_cast<std::size_t>(gi)];
+      out.group_incoming_qps[static_cast<std::size_t>(gi)] = inc;
+      const double r = mult.at(static_cast<std::size_t>(t))
+                           .at(static_cast<std::size_t>(ic.variant));
+      for (int child : g.children(t)) {
+        const double outgoing = inc * r * g.branch_ratio(t, child);
+        if (outgoing <= 1e-12) {
+          // Still provide a route so runtime fan-out has a target even when
+          // the planned demand was ~0: point at the most accurate group.
+          const auto& cg = groups_of_task[static_cast<std::size_t>(child)];
+          if (!cg.empty()) {
+            out.group_routes[static_cast<std::size_t>(gi)][child] = {
+                {cg.front(), 1.0}};
+          }
+          continue;
+        }
+        const auto routed = assign_demand(
+            outgoing, groups_of_task[static_cast<std::size_t>(child)]);
+        auto& table = out.group_routes[static_cast<std::size_t>(gi)][child];
+        for (const auto& [cgi, qps] : routed) {
+          table.push_back({cgi, qps / outgoing});
+        }
+      }
+    }
+  }
+
+  // Backup tables: per task, groups with leftover capacity, most accurate
+  // first (groups_of_task is already accuracy-ordered).
+  for (int t = 0; t < g.num_tasks(); ++t) {
+    for (int gi : groups_of_task[static_cast<std::size_t>(t)]) {
+      const double leftover = capacity[static_cast<std::size_t>(gi)];
+      if (leftover <= 1e-9) continue;
+      const auto& ic = plan.instances[static_cast<std::size_t>(gi)];
+      out.backup_per_task[static_cast<std::size_t>(t)].push_back(
+          {gi, leftover, out.group_exec_s[static_cast<std::size_t>(gi)],
+           g.task(t).catalog.at(ic.variant).accuracy});
+    }
+  }
+  return out;
+}
+
+}  // namespace loki::serving

@@ -1,0 +1,75 @@
+// The Load Balancer (§5): turns the Resource Manager's allocation plan into
+// routing tables via the MostAccurateFirst algorithm (Algorithm 1), and
+// produces the backup tables (leftover-capacity lists) that opportunistic
+// rerouting (§5.2) consults at runtime.
+//
+// Routing is computed at instance-group granularity — all replicas of one
+// (task, variant, batch) config are interchangeable — and the runtime picks
+// the least-loaded replica within the chosen group.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "pipeline/graph.hpp"
+#include "serving/allocation.hpp"
+#include "serving/types.hpp"
+
+namespace loki::serving {
+
+/// Probability of routing to one instance group (index into
+/// AllocationPlan::instances).
+struct GroupRoute {
+  int group = -1;
+  double probability = 0.0;
+};
+
+/// Backup-table entry (§5.1 end / §5.2): a group with leftover capacity,
+/// its profiled execution time and accuracy, used to find a faster
+/// alternative when a request falls behind its latency budget.
+struct BackupEntry {
+  int group = -1;
+  double leftover_qps = 0.0;
+  double exec_s = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Routing tables for the Frontend and every instance group.
+struct RoutingPlan {
+  /// Frontend -> root-task groups. Probabilities sum to <= 1; the deficit is
+  /// demand the plan cannot place (shed at the frontend).
+  std::vector<GroupRoute> frontend;
+  /// group_routes[group][child_task] -> distribution over child groups.
+  /// Probabilities per (group, child) sum to <= 1; deficit items are
+  /// dropped at forward time (no capacity anywhere downstream).
+  std::vector<std::map<int, std::vector<GroupRoute>>> group_routes;
+  /// Per task: groups with leftover capacity, most accurate first.
+  std::vector<std::vector<BackupEntry>> backup_per_task;
+  /// Profiled batch execution latency per group (for rerouting math).
+  std::vector<double> group_exec_s;
+  /// Planned incoming QPS per group (diagnostics / tests).
+  std::vector<double> group_incoming_qps;
+};
+
+class LoadBalancer {
+ public:
+  /// `utilization_target` derates group capacities the same way the
+  /// allocator derates them, so routing saturates groups at the planned
+  /// utilization rather than at 100% of profiled throughput.
+  LoadBalancer(const pipeline::PipelineGraph* graph,
+               const ProfileTable* profiles, double utilization_target = 1.0);
+
+  /// MostAccurateFirst (Algorithm 1) at instance-group granularity.
+  /// `demand_qps` is the frontend demand estimate; `mult` the current
+  /// multiplicative-factor estimates.
+  RoutingPlan most_accurate_first(const AllocationPlan& plan,
+                                  double demand_qps,
+                                  const pipeline::MultFactorTable& mult) const;
+
+ private:
+  const pipeline::PipelineGraph* graph_;
+  const ProfileTable* profiles_;
+  double utilization_target_;
+};
+
+}  // namespace loki::serving

@@ -1,0 +1,64 @@
+#include "serving/metadata_store.hpp"
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace loki::serving {
+
+void MetadataStore::register_pipeline(const pipeline::PipelineGraph* graph,
+                                      ProfileTable profiles, double slo_s) {
+  LOKI_CHECK(graph != nullptr);
+  LOKI_CHECK(slo_s > 0.0);
+  graph_ = graph;
+  profiles_ = std::move(profiles);
+  slo_s_ = slo_s;
+  mult_estimates_ = pipeline::default_mult_factors(*graph);
+}
+
+void MetadataStore::record_demand(double t, double estimate_qps) {
+  demand_history_.push_back({t, estimate_qps});
+  while (demand_history_.size() > history_limit_) demand_history_.pop_front();
+}
+
+double MetadataStore::recent_demand_mean(std::size_t n) const {
+  if (demand_history_.empty() || n == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (auto it = demand_history_.rbegin();
+       it != demand_history_.rend() && count < n; ++it, ++count) {
+    sum += it->estimate_qps;
+  }
+  return sum / static_cast<double>(count);
+}
+
+void MetadataStore::record_plan(double t, AllocationPlan plan) {
+  plan_history_.push_back({t, std::move(plan)});
+  while (plan_history_.size() > history_limit_) plan_history_.pop_front();
+}
+
+const AllocationPlan* MetadataStore::current_plan() const {
+  return plan_history_.empty() ? nullptr : &plan_history_.back().plan;
+}
+
+int MetadataStore::variant_change_count() const {
+  int changes = 0;
+  std::set<std::pair<int, int>> prev;
+  bool first = true;
+  for (const auto& rec : plan_history_) {
+    std::set<std::pair<int, int>> cur;
+    for (const auto& ic : rec.plan.instances) {
+      cur.insert({ic.task, ic.variant});
+    }
+    if (!first && cur != prev) ++changes;
+    prev = std::move(cur);
+    first = false;
+  }
+  return changes;
+}
+
+void MetadataStore::record_mult_factors(pipeline::MultFactorTable estimates) {
+  mult_estimates_ = std::move(estimates);
+}
+
+}  // namespace loki::serving

@@ -1,0 +1,71 @@
+// The Metadata Store (§3): the Controller's registry of everything the
+// Resource Manager and Load Balancer consult — the pipeline graph, profiled
+// variant tables, demand history, multiplicative-factor estimates, and the
+// history of allocation plans. The ServingSystem records into it when one
+// is attached; operators and tests read from it ("what did the controller
+// know, and when").
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "pipeline/graph.hpp"
+#include "serving/allocation.hpp"
+#include "serving/types.hpp"
+
+namespace loki::serving {
+
+class MetadataStore {
+ public:
+  struct DemandSample {
+    double t = 0.0;
+    double estimate_qps = 0.0;
+  };
+  struct PlanRecord {
+    double t = 0.0;
+    AllocationPlan plan;
+  };
+
+  /// Registers the served pipeline and its profiles (initial setup, §3).
+  void register_pipeline(const pipeline::PipelineGraph* graph,
+                         ProfileTable profiles, double slo_s);
+
+  bool registered() const { return graph_ != nullptr; }
+  const pipeline::PipelineGraph* graph() const { return graph_; }
+  const ProfileTable& profiles() const { return profiles_; }
+  double slo_s() const { return slo_s_; }
+
+  /// Demand history (bounded ring; most recent last).
+  void record_demand(double t, double estimate_qps);
+  const std::deque<DemandSample>& demand_history() const {
+    return demand_history_;
+  }
+  /// Mean of the last `n` samples (0 when empty).
+  double recent_demand_mean(std::size_t n) const;
+
+  /// Allocation-plan history (bounded ring; most recent last).
+  void record_plan(double t, AllocationPlan plan);
+  const std::deque<PlanRecord>& plan_history() const { return plan_history_; }
+  const AllocationPlan* current_plan() const;
+  /// Number of plan transitions whose variant sets differ (swap pressure).
+  int variant_change_count() const;
+
+  /// Latest multiplicative-factor estimates reported by heartbeats.
+  void record_mult_factors(pipeline::MultFactorTable estimates);
+  const pipeline::MultFactorTable& mult_factors() const {
+    return mult_estimates_;
+  }
+
+  void set_history_limit(std::size_t n) { history_limit_ = n; }
+
+ private:
+  const pipeline::PipelineGraph* graph_ = nullptr;
+  ProfileTable profiles_;
+  double slo_s_ = 0.0;
+  std::size_t history_limit_ = 4096;
+  std::deque<DemandSample> demand_history_;
+  std::deque<PlanRecord> plan_history_;
+  pipeline::MultFactorTable mult_estimates_;
+};
+
+}  // namespace loki::serving

@@ -1,0 +1,92 @@
+#include "serving/metrics.hpp"
+
+namespace loki::serving {
+
+void Metrics::roll(double t) {
+  while (t >= window_start_ + window_s_) {
+    const double mid = window_start_ + window_s_ / 2.0;
+    demand_series_.add(mid,
+                       static_cast<double>(w_arrivals_) / window_s_);
+    if (w_done_ > 0) {
+      violation_series_.add(
+          mid, static_cast<double>(w_violations_) /
+                   static_cast<double>(w_done_));
+    } else {
+      violation_series_.add(mid, 0.0);
+    }
+    if (w_accuracy_.count() > 0) {
+      accuracy_series_.add(mid, w_accuracy_.mean());
+    } else if (!accuracy_series_.empty()) {
+      accuracy_series_.add(mid, accuracy_series_.points().back().v);
+    }
+    w_arrivals_ = 0;
+    w_done_ = 0;
+    w_violations_ = 0;
+    w_accuracy_.reset();
+    window_start_ += window_s_;
+  }
+}
+
+void Metrics::record_arrival(double t) {
+  roll(t);
+  ++arrivals_;
+  ++w_arrivals_;
+}
+
+void Metrics::record_outcome(double t, QueryOutcome outcome, double accuracy,
+                             double latency_s) {
+  roll(t);
+  ++w_done_;
+  switch (outcome) {
+    case QueryOutcome::kOnTime:
+      ++completions_;
+      accuracy_.add(accuracy);
+      w_accuracy_.add(accuracy);
+      latency_.add(latency_s);
+      break;
+    case QueryOutcome::kLate:
+      ++completions_;
+      ++violations_;
+      ++late_;
+      ++w_violations_;
+      accuracy_.add(accuracy);
+      w_accuracy_.add(accuracy);
+      latency_.add(latency_s);
+      break;
+    case QueryOutcome::kShed:
+      ++shed_;
+      [[fallthrough]];
+    case QueryOutcome::kDropped:
+      ++drops_;
+      ++violations_;
+      ++w_violations_;
+      break;
+  }
+}
+
+void Metrics::record_utilization(double t, int servers_used,
+                                 int cluster_size) {
+  servers_.add(static_cast<double>(servers_used));
+  servers_series_.add(t, static_cast<double>(servers_used));
+  utilization_series_.add(t, cluster_size > 0
+                                 ? static_cast<double>(servers_used) /
+                                       static_cast<double>(cluster_size)
+                                 : 0.0);
+}
+
+void Metrics::record_demand_estimate(double /*t*/, double /*qps*/) {
+  // Estimates are plotted from demand_series_; kept as a hook for tooling.
+}
+
+void Metrics::record_allocation(double /*t*/, double /*solve_time_s*/,
+                                int /*mode*/) {}
+
+double Metrics::slo_violation_ratio() const {
+  const std::uint64_t total = completions_ + drops_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(violations_) / static_cast<double>(total);
+}
+
+void Metrics::flush(double t) { roll(t + window_s_); }
+
+}  // namespace loki::serving

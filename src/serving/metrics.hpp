@@ -1,0 +1,89 @@
+// Metrics pipeline: per-query accounting plus the windowed timeseries that
+// reproduce the panels of Figs. 5 and 6 (demand, system accuracy, cluster
+// utilization, SLO violation ratio) and the summary numbers quoted in §6.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace loki::serving {
+
+/// Terminal states of a client query. A query violates its SLO if it was
+/// dropped (any part) or finished past its deadline (§6.1 definition).
+enum class QueryOutcome { kOnTime, kLate, kDropped, kShed };
+
+class Metrics {
+ public:
+  explicit Metrics(double window_s = 10.0) : window_s_(window_s) {}
+
+  void record_arrival(double t);
+  /// Terminal accounting for one client query. `accuracy` is the mean
+  /// profiled end-to-end accuracy over the sinks it completed (ignored for
+  /// dropped/shed queries).
+  void record_outcome(double t, QueryOutcome outcome, double accuracy,
+                      double latency_s);
+  /// Periodic cluster snapshot: servers in use / total.
+  void record_utilization(double t, int servers_used, int cluster_size);
+  void record_demand_estimate(double t, double qps);
+  void record_allocation(double t, double solve_time_s, int mode);
+
+  // --- Summary accessors ---
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t late() const { return late_; }
+  double slo_violation_ratio() const;
+  /// Mean profiled accuracy over queries served on time or late.
+  double mean_accuracy() const { return accuracy_.mean(); }
+  double mean_latency_s() const { return latency_.mean(); }
+  double p99_latency_s() const { return latency_.quantile(0.99); }
+  double mean_servers_used() const { return servers_.mean(); }
+
+  // --- Timeseries (windowed by the runtime as events happen) ---
+  const TimeSeries& demand_series() const { return demand_series_; }
+  const TimeSeries& accuracy_series() const { return accuracy_series_; }
+  const TimeSeries& violation_series() const { return violation_series_; }
+  const TimeSeries& utilization_series() const { return utilization_series_; }
+  const TimeSeries& servers_series() const { return servers_series_; }
+
+  const PercentileTracker& latency() const { return latency_; }
+  double window_s() const { return window_s_; }
+
+  /// Flushes the current partial window into the series (call at end of
+  /// run so the tail shows up).
+  void flush(double t);
+
+ private:
+  void roll(double t);
+
+  double window_s_;
+  double window_start_ = 0.0;
+
+  // Totals.
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t late_ = 0;
+  RunningStats accuracy_;
+  PercentileTracker latency_;
+  RunningStats servers_;
+
+  // Current window accumulators.
+  std::uint64_t w_arrivals_ = 0;
+  std::uint64_t w_done_ = 0;
+  std::uint64_t w_violations_ = 0;
+  RunningStats w_accuracy_;
+
+  TimeSeries demand_series_;
+  TimeSeries accuracy_series_;
+  TimeSeries violation_series_;
+  TimeSeries utilization_series_;
+  TimeSeries servers_series_;
+};
+
+}  // namespace loki::serving

@@ -1,0 +1,91 @@
+#include "serving/plan_io.hpp"
+
+#include <sstream>
+
+namespace loki::serving {
+
+namespace {
+const std::string& variant_name(const pipeline::PipelineGraph& g, int task,
+                                int variant) {
+  return g.task(task).catalog.at(variant).name;
+}
+}  // namespace
+
+std::string plan_to_string(const pipeline::PipelineGraph& g,
+                           const AllocationPlan& plan) {
+  std::ostringstream os;
+  os << "plan[" << to_string(plan.mode) << "] demand=" << plan.demand_qps
+     << " qps, servers=" << plan.servers_used
+     << ", accuracy=" << plan.expected_accuracy
+     << ", served=" << plan.served_fraction << "\n";
+  for (const auto& ic : plan.instances) {
+    os << "  " << g.task(ic.task).name << ": "
+       << variant_name(g, ic.task, ic.variant) << " x" << ic.replicas
+       << " (batch " << ic.batch;
+    const auto it = plan.latency_budget_s.find({ic.task, ic.variant});
+    if (it != plan.latency_budget_s.end()) {
+      os << ", budget " << it->second * 1e3 << " ms";
+    }
+    os << ")\n";
+  }
+  for (const auto& flow : plan.flows) {
+    os << "  path->" << g.task(flow.path.sink).name << " [";
+    for (std::size_t i = 0; i < flow.path.tasks.size(); ++i) {
+      if (i) os << " -> ";
+      os << variant_name(g, flow.path.tasks[i], flow.path.variants[i]);
+    }
+    os << "] " << flow.fraction * 100.0 << "%\n";
+  }
+  return os.str();
+}
+
+CsvTable plan_to_csv(const pipeline::PipelineGraph& g,
+                     const AllocationPlan& plan) {
+  CsvTable t({"task", "variant", "replicas", "batch", "budget_ms", "mode",
+              "demand_qps"});
+  for (const auto& ic : plan.instances) {
+    const auto it = plan.latency_budget_s.find({ic.task, ic.variant});
+    t.add_row({g.task(ic.task).name, variant_name(g, ic.task, ic.variant),
+               static_cast<std::int64_t>(ic.replicas),
+               static_cast<std::int64_t>(ic.batch),
+               it != plan.latency_budget_s.end() ? it->second * 1e3 : 0.0,
+               std::string(to_string(plan.mode)), plan.demand_qps});
+  }
+  return t;
+}
+
+std::string routing_to_string(const pipeline::PipelineGraph& g,
+                              const AllocationPlan& plan,
+                              const RoutingPlan& routing) {
+  std::ostringstream os;
+  auto group_name = [&](int gi) {
+    const auto& ic = plan.instances.at(static_cast<std::size_t>(gi));
+    return g.task(ic.task).name + "/" + variant_name(g, ic.task, ic.variant);
+  };
+  os << "frontend:\n";
+  for (const auto& r : routing.frontend) {
+    os << "  -> " << group_name(r.group) << "  " << r.probability * 100.0
+       << "%\n";
+  }
+  for (std::size_t gi = 0; gi < routing.group_routes.size(); ++gi) {
+    if (routing.group_routes[gi].empty()) continue;
+    os << group_name(static_cast<int>(gi)) << ":\n";
+    for (const auto& [child, routes] : routing.group_routes[gi]) {
+      for (const auto& r : routes) {
+        os << "  [" << g.task(child).name << "] -> " << group_name(r.group)
+           << "  " << r.probability * 100.0 << "%\n";
+      }
+    }
+  }
+  for (std::size_t t = 0; t < routing.backup_per_task.size(); ++t) {
+    if (routing.backup_per_task[t].empty()) continue;
+    os << "backup[" << g.task(static_cast<int>(t)).name << "]:";
+    for (const auto& be : routing.backup_per_task[t]) {
+      os << " " << group_name(be.group) << "(" << be.leftover_qps << " qps)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace loki::serving

@@ -1,0 +1,31 @@
+// Human-readable and CSV renderings of allocation plans and routing plans —
+// the operational tooling a deployed serving system needs for inspection
+// ("what is the cluster running right now, and why").
+#pragma once
+
+#include <string>
+
+#include "common/csv.hpp"
+#include "pipeline/graph.hpp"
+#include "serving/load_balancer.hpp"
+#include "serving/types.hpp"
+
+namespace loki::serving {
+
+/// Multi-line dump: mode, demand, servers, accuracy, then one line per
+/// instance group (task, variant name, replicas, batch, latency budget) and
+/// one per flow (sink, path variants, fraction).
+std::string plan_to_string(const pipeline::PipelineGraph& g,
+                           const AllocationPlan& plan);
+
+/// Instance groups as a CSV table (for logging plans over time).
+CsvTable plan_to_csv(const pipeline::PipelineGraph& g,
+                     const AllocationPlan& plan);
+
+/// Routing tables as text: frontend distribution plus each group's
+/// per-child distribution and the backup tables.
+std::string routing_to_string(const pipeline::PipelineGraph& g,
+                              const AllocationPlan& plan,
+                              const RoutingPlan& routing);
+
+}  // namespace loki::serving

@@ -1,0 +1,761 @@
+#include "serving/system.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace loki::serving {
+
+std::string to_string(DropPolicy p) {
+  switch (p) {
+    case DropPolicy::kNone: return "no-early-dropping";
+    case DropPolicy::kLastTask: return "last-task-dropping";
+    case DropPolicy::kPerTask: return "per-task-dropping";
+    case DropPolicy::kOpportunisticReroute: return "opportunistic-rerouting";
+  }
+  return "?";
+}
+
+ServingSystem::ServingSystem(sim::Simulation* sim,
+                             const pipeline::PipelineGraph* graph,
+                             ProfileTable profiles,
+                             AllocationStrategy* strategy, SystemConfig cfg)
+    : sim_(sim),
+      graph_(graph),
+      profiles_(std::move(profiles)),
+      strategy_(strategy),
+      cfg_(cfg),
+      lb_(graph, &profiles_, cfg.allocator.utilization_target),
+      metrics_(cfg.metrics_window_s),
+      demand_(cfg.demand),
+      rng_routing_(Rng(cfg.seed).stream("routing")),
+      rng_mult_(Rng(cfg.seed).stream("mult")),
+      rng_jitter_(Rng(cfg.seed).stream("jitter")),
+      rng_shed_(Rng(cfg.seed).stream("shed")) {
+  LOKI_CHECK(sim_ && graph_ && strategy_);
+  mult_estimates_ = pipeline::default_mult_factors(*graph_);
+  obs_in_.assign(mult_estimates_.size(), {});
+  obs_out_.assign(mult_estimates_.size(), {});
+  for (std::size_t t = 0; t < mult_estimates_.size(); ++t) {
+    obs_in_[t].assign(mult_estimates_[t].size(), 0.0);
+    obs_out_[t].assign(mult_estimates_[t].size(), 0.0);
+  }
+  task_window_arrivals_.assign(
+      static_cast<std::size_t>(graph_->num_tasks()), 0.0);
+
+  workers_.reserve(static_cast<std::size_t>(cfg_.allocator.cluster_size));
+  for (int i = 0; i < cfg_.allocator.cluster_size; ++i) {
+    auto w = std::make_unique<cluster::Worker>(i, sim_);
+    w->set_batch_done([this](cluster::Worker& wk,
+                             std::vector<cluster::WorkItem>&& items,
+                             const cluster::Worker::BatchContext& ctx) {
+      on_batch_done(wk, std::move(items), ctx);
+    });
+    w->set_dropped_sink([this](cluster::Worker& wk,
+                               std::vector<cluster::WorkItem>&& items) {
+      on_dropped_items(wk, std::move(items));
+    });
+    if (cfg_.drop_policy == DropPolicy::kLastTask ||
+        cfg_.drop_policy == DropPolicy::kOpportunisticReroute) {
+      // Last-task hopeless check: for the rerouting policy this is the
+      // §5.2 "drop as a last resort" — a request whose leftover budget
+      // cannot cover even the sink's execution frees the batch slot.
+      w->set_drop_filter(
+          [this](const cluster::Worker& wk, const cluster::WorkItem& item) {
+            return last_task_filter(wk, item);
+          });
+    }
+    if (cfg_.exec_noise_frac > 0.0 || cfg_.straggler_prob > 0.0) {
+      w->set_jitter([this](double nominal) {
+        double v = cfg_.exec_noise_frac > 0.0
+                       ? rng_jitter_.normal(nominal,
+                                            nominal * cfg_.exec_noise_frac)
+                       : nominal;
+        // Stragglers: occasional much-slower batches (contention, clock
+        // throttling) — the systematic part of a real cluster's noise.
+        if (cfg_.straggler_prob > 0.0 &&
+            rng_jitter_.bernoulli(cfg_.straggler_prob)) {
+          v *= rng_jitter_.uniform(1.5, cfg_.straggler_scale);
+        }
+        return v;
+      });
+    }
+    if (cfg_.batch_wait_s > 0.0) w->set_batch_wait(cfg_.batch_wait_s);
+    workers_.push_back(std::move(w));
+  }
+  worker_group_.assign(workers_.size(), -1);
+}
+
+void ServingSystem::attach_metadata_store(MetadataStore* store) {
+  LOKI_CHECK(store != nullptr);
+  metadata_ = store;
+  if (!metadata_->registered()) {
+    metadata_->register_pipeline(graph_, profiles_, cfg_.allocator.slo_s);
+  }
+}
+
+ServingSystem::~ServingSystem() = default;
+
+void ServingSystem::start() {
+  LOKI_CHECK(!started_);
+  started_ = true;
+  run_resource_manager();  // initial allocation + routing
+  // Periodic control loops. Self-rescheduling keeps periods exact.
+  auto schedule_periodic = [this](double period, auto&& fn) {
+    // Wrap in a shared_ptr'd lambda so it can reschedule itself.
+    auto holder = std::make_shared<std::function<void()>>();
+    *holder = [this, period, holder, fn]() {
+      if (stopped_) return;
+      fn();
+      sim_->schedule_after(period, *holder);
+    };
+    sim_->schedule_after(period, *holder);
+  };
+  schedule_periodic(cfg_.rm_period_s, [this]() { run_resource_manager(); });
+  schedule_periodic(cfg_.lb_period_s, [this]() { run_load_balancer(); });
+  schedule_periodic(cfg_.heartbeat_period_s, [this]() { run_heartbeat(); });
+}
+
+void ServingSystem::finish(double t_end) {
+  stopped_ = true;
+  metrics_.flush(t_end);
+}
+
+int ServingSystem::active_workers() const {
+  int n = 0;
+  for (const auto& w : workers_) {
+    if (w->active()) ++n;
+  }
+  return n;
+}
+
+double ServingSystem::comm_delay() {
+  double d = cfg_.allocator.comm_latency_s;
+  if (cfg_.comm_jitter_frac > 0.0) {
+    d = std::max(0.0, rng_jitter_.normal(d, d * cfg_.comm_jitter_frac));
+  }
+  return d;
+}
+
+double ServingSystem::runtime_budget(int task, int variant, int batch) const {
+  auto it = plan_.latency_budget_s.find({task, variant});
+  if (it != plan_.latency_budget_s.end()) return it->second;
+  // Plan changed under the request: fall back to 2x the profiled batch
+  // latency of this worker's configuration.
+  const auto& prof = profiles_[static_cast<std::size_t>(task)]
+                              [static_cast<std::size_t>(variant)];
+  const int idx = prof.index_of(batch);
+  const double lat = idx >= 0 ? prof.latency_s[static_cast<std::size_t>(idx)]
+                              : prof.latency_s.back();
+  return 2.0 * lat;
+}
+
+// ---------------------------------------------------------------------------
+// Frontend
+// ---------------------------------------------------------------------------
+
+void ServingSystem::submit() {
+  const double now = sim_->now();
+  const bool metered = now >= cfg_.metrics_warmup_s;
+  if (metered) metrics_.record_arrival(now);
+  demand_.record_arrival(now);
+  task_window_arrivals_[static_cast<std::size_t>(graph_->root())] += 1.0;
+
+  // Overload shedding: the plan serves only served_fraction of demand.
+  if (plan_.served_fraction < 1.0 &&
+      rng_shed_.uniform() > plan_.served_fraction) {
+    if (metered) metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0);
+    return;
+  }
+
+  const int group = pick_group(routing_.frontend);
+  if (group < 0) {
+    if (metered) metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0);
+    return;
+  }
+  const std::uint64_t qid = next_query_id_++;
+  QueryState qs;
+  qs.arrival = now;
+  qs.deadline = now + cfg_.allocator.slo_s;
+  qs.outstanding = 1;
+  qs.metered = metered;
+  queries_.emplace(qid, qs);
+
+  cluster::WorkItem item;
+  item.query_id = qid;
+  item.task = graph_->root();
+  item.deadline = qs.deadline;
+  item.accuracy_so_far = 1.0;
+  forward_item(item, group);
+}
+
+int ServingSystem::pick_group(const std::vector<GroupRoute>& routes) {
+  if (routes.empty()) return -1;
+  const double r = rng_routing_.uniform();
+  double cum = 0.0;
+  for (const auto& route : routes) {
+    cum += route.probability;
+    if (r < cum) return route.group;
+  }
+  return -1;  // unplaced remainder
+}
+
+int ServingSystem::pick_worker(int group) const {
+  if (group < 0 || group >= static_cast<int>(group_workers_.size())) return -1;
+  // Least-loaded replica; workers mid model-swap only as a last resort
+  // (their queue stalls for the whole load time).
+  int best = -1;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  int best_loading = -1;
+  std::size_t best_loading_load = std::numeric_limits<std::size_t>::max();
+  for (int wid : group_workers_[static_cast<std::size_t>(group)]) {
+    const auto& w = *workers_[static_cast<std::size_t>(wid)];
+    if (!w.active()) continue;
+    if (w.loading()) {
+      if (w.load() < best_loading_load) {
+        best_loading_load = w.load();
+        best_loading = wid;
+      }
+    } else if (w.load() < best_load) {
+      best_load = w.load();
+      best = wid;
+    }
+  }
+  return best >= 0 ? best : best_loading;
+}
+
+int ServingSystem::pick_worker_for_task(int task) const {
+  int best = -1;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  int best_loading = -1;
+  std::size_t best_loading_load = std::numeric_limits<std::size_t>::max();
+  for (const auto& w : workers_) {
+    if (!w->active() || w->task() != task) continue;
+    if (w->loading()) {
+      if (w->load() < best_loading_load) {
+        best_loading_load = w->load();
+        best_loading = w->id();
+      }
+    } else if (w->load() < best_load) {
+      best_load = w->load();
+      best = w->id();
+    }
+  }
+  return best >= 0 ? best : best_loading;
+}
+
+void ServingSystem::forward_item(cluster::WorkItem item, int group) {
+  int wid = pick_worker(group);
+  if (wid < 0) {
+    // Group not staffed yet (rolling swap in progress): any worker serving
+    // the task will do — possibly at a different accuracy point.
+    wid = pick_worker_for_task(item.task);
+  }
+  if (wid < 0) {
+    drop_query_part(item.query_id, sim_->now());
+    return;
+  }
+  const double delay = comm_delay();
+  sim_->schedule_after(delay, [this, item, wid]() mutable {
+    auto& w = *workers_[static_cast<std::size_t>(wid)];
+    if (!w.active()) {
+      // Reassigned while in flight: send to any worker of the same task.
+      const int alt = pick_worker_for_task(item.task);
+      if (alt < 0) {
+        drop_query_part(item.query_id, sim_->now());
+        return;
+      }
+      item.enqueue_time = sim_->now();
+      workers_[static_cast<std::size_t>(alt)]->enqueue(item);
+      return;
+    }
+    item.enqueue_time = sim_->now();
+    w.enqueue(item);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Worker completion path
+// ---------------------------------------------------------------------------
+
+bool ServingSystem::last_task_filter(const cluster::Worker& w,
+                                     const cluster::WorkItem& item) const {
+  if (!graph_->is_sink(w.task())) return false;
+  if (w.model() == nullptr) return false;
+  // Leftover budget vs expected processing time at this worker (§5.2(2)).
+  // The batch about to execute is roughly the backlog, capped at max batch.
+  const int est_batch = std::clamp(static_cast<int>(w.load()) + 1, 1,
+                                   std::max(1, w.max_batch()));
+  const double expected_exec = w.model()->latency.latency_s(est_batch);
+  return sim_->now() + expected_exec > item.deadline;
+}
+
+void ServingSystem::on_dropped_items(cluster::Worker& /*w*/,
+                                     std::vector<cluster::WorkItem>&& items) {
+  const double now = sim_->now();
+  for (const auto& item : items) drop_query_part(item.query_id, now);
+}
+
+void ServingSystem::on_batch_done(cluster::Worker& w,
+                                  std::vector<cluster::WorkItem>&& items,
+                                  const cluster::Worker::BatchContext& ctx) {
+  const double now = sim_->now();
+  const int task = ctx.task;
+  const int variant = ctx.variant;
+  if (task < 0 || ctx.model == nullptr) return;
+  const double variant_acc =
+      graph_->task(task).catalog.at(variant).accuracy;
+  const double budget = runtime_budget(task, variant, ctx.max_batch);
+  const bool is_sink = graph_->is_sink(task);
+  const double r_true = ctx.model->mult_factor_mean;
+
+  for (auto& item : items) {
+    obs_in_[static_cast<std::size_t>(task)][static_cast<std::size_t>(variant)] +=
+        1.0;
+    item.accuracy_so_far *= variant_acc;
+    const double stage_elapsed = now - item.enqueue_time;
+    // Cumulative deficit: time over budget here plus anything carried from
+    // upstream tasks, minus slack earned by finishing early.
+    const double over =
+        std::max(0.0, item.debt_s + stage_elapsed - budget);
+    item.debt_s = over;
+
+    if (is_sink) {
+      auto it = queries_.find(item.query_id);
+      if (it != queries_.end()) {
+        it->second.accuracy_sum += item.accuracy_so_far;
+        ++it->second.sink_completions;
+      }
+      complete_part(item.query_id, now);
+      continue;
+    }
+
+    // Sample the realized multiplicative factor: total detected objects,
+    // multinomially assigned to children by branch ratio.
+    const auto total_objects = rng_mult_.poisson(r_true);
+    obs_out_[static_cast<std::size_t>(task)]
+            [static_cast<std::size_t>(variant)] +=
+        static_cast<double>(total_objects);
+
+    const auto& children = graph_->children(task);
+    std::vector<int> child_counts(children.size(), 0);
+    for (std::uint64_t obj = 0; obj < total_objects; ++obj) {
+      double u = rng_mult_.uniform();
+      for (std::size_t ci = 0; ci < children.size(); ++ci) {
+        const double br = graph_->branch_ratio(task, children[ci]);
+        if (u < br) {
+          ++child_counts[ci];
+          break;
+        }
+        u -= br;
+      }
+    }
+
+    auto qit = queries_.find(item.query_id);
+    if (qit == queries_.end()) continue;  // already finalized (shouldn't)
+
+    int forwarded_total = 0;
+    struct PendingForward {
+      int group;
+      int count;
+      int child_task;
+    };
+    std::vector<PendingForward> forwards;
+    bool drop_rest = false;
+
+    for (std::size_t ci = 0; ci < children.size(); ++ci) {
+      const int child = children[ci];
+      task_window_arrivals_[static_cast<std::size_t>(child)] +=
+          static_cast<double>(child_counts[ci]);
+      if (child_counts[ci] == 0) continue;
+      // This worker's routing table for the child task (null = stale plan).
+      const auto route_it = [&]() -> const std::vector<GroupRoute>* {
+        const int gi = worker_group_[static_cast<std::size_t>(w.id())];
+        if (gi < 0 ||
+            gi >= static_cast<int>(routing_.group_routes.size())) {
+          return nullptr;
+        }
+        auto it2 = routing_.group_routes[static_cast<std::size_t>(gi)].find(child);
+        if (it2 == routing_.group_routes[static_cast<std::size_t>(gi)].end()) {
+          return nullptr;
+        }
+        return &it2->second;
+      }();
+
+      for (int n = 0; n < child_counts[ci]; ++n) {
+        int group = route_it ? pick_group(*route_it) : -1;
+        if (group < 0 && route_it == nullptr) {
+          // No table (stale plan): any worker of the child task.
+          const int alt = pick_worker_for_task(child);
+          if (alt >= 0) {
+            cluster::WorkItem next;
+            next.query_id = item.query_id;
+            next.task = child;
+            next.deadline = item.deadline;
+            next.accuracy_so_far = item.accuracy_so_far;
+            next.debt_s = item.debt_s;
+            ++forwarded_total;
+            qit->second.outstanding += 1;
+            const double delay = comm_delay();
+            sim_->schedule_after(delay, [this, next, alt]() mutable {
+              auto& aw = *workers_[static_cast<std::size_t>(alt)];
+              if (!aw.active()) {
+                drop_query_part(next.query_id, sim_->now());
+                return;
+              }
+              next.enqueue_time = sim_->now();
+              aw.enqueue(next);
+            });
+            continue;
+          }
+          drop_rest = true;
+          break;
+        }
+        // Early dropping at forward time (§5.2): when the request is
+        // running behind (positive cumulative budget deficit), test whether
+        // the default downstream worker can still make the deadline —
+        // reserving one batch of queueing per the SLO/2 rule.
+        //   * per-task dropping: drop on a failed test (no rescue);
+        //   * opportunistic rerouting: first look for a faster backup
+        //     worker from the leftover-capacity table, drop as last resort.
+        const bool checks_forward =
+            cfg_.drop_policy == DropPolicy::kPerTask ||
+            cfg_.drop_policy == DropPolicy::kOpportunisticReroute;
+        if (checks_forward && over > 0.0) {
+          const double slack = item.deadline - now;
+          const double tail =
+              cfg_.allocator.comm_latency_s + descendant_budget(child);
+          const double y =
+              group >= 0
+                  ? routing_.group_exec_s[static_cast<std::size_t>(group)]
+                  : std::numeric_limits<double>::infinity();
+          if (2.0 * y + tail > slack) {
+            int backup = -1;
+            if (cfg_.drop_policy == DropPolicy::kOpportunisticReroute) {
+              for (const auto& be :
+                   routing_.backup_per_task[static_cast<std::size_t>(child)]) {
+                if (2.0 * be.exec_s + tail <= slack) {
+                  backup = be.group;
+                  break;  // list is accuracy-ordered: first hit is best
+                }
+              }
+            }
+            if (backup >= 0) {
+              group = backup;
+            } else {
+              drop_rest = true;
+              break;
+            }
+          }
+        }
+        if (group < 0) {
+          drop_rest = true;
+          break;
+        }
+        forwards.push_back({group, 1, child});
+      }
+      if (drop_rest) break;
+    }
+
+    if (drop_rest) {
+      drop_query_part(item.query_id, now);
+      continue;
+    }
+    // Commit the forwards.
+    for (const auto& f : forwards) {
+      cluster::WorkItem next;
+      next.query_id = item.query_id;
+      next.task = f.child_task;
+      next.deadline = item.deadline;
+      next.accuracy_so_far = item.accuracy_so_far;
+      next.debt_s = item.debt_s;
+      qit->second.outstanding += 1;
+      ++forwarded_total;
+      forward_item(next, f.group);
+    }
+    (void)forwarded_total;
+    complete_part(item.query_id, now);
+  }
+}
+
+void ServingSystem::drop_query_part(std::uint64_t query_id, double now) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  it->second.dropped = true;
+  complete_part(query_id, now);
+}
+
+void ServingSystem::complete_part(std::uint64_t query_id, double now) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  QueryState& qs = it->second;
+  if (--qs.outstanding > 0) return;
+
+  const double latency = now - qs.arrival;
+  if (!qs.metered) {
+    queries_.erase(it);
+    return;
+  }
+  if (qs.dropped) {
+    metrics_.record_outcome(now, QueryOutcome::kDropped, 0.0, latency);
+  } else {
+    const double acc =
+        qs.sink_completions > 0
+            ? qs.accuracy_sum / static_cast<double>(qs.sink_completions)
+            : 1.0;  // zero detections: trivially correct response
+    const bool late = now > qs.deadline + 1e-9;
+    metrics_.record_outcome(now, late ? QueryOutcome::kLate
+                                      : QueryOutcome::kOnTime,
+                            acc, latency);
+  }
+  queries_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+void ServingSystem::run_resource_manager() {
+  const double now = sim_->now();
+  const double demand = demand_.estimate(now);
+  // Hysteresis: skip the re-allocation when demand barely moved — swapping
+  // variants costs load time and the current plan still fits.
+  if (has_plan_) {
+    const double rel = std::abs(demand - last_alloc_demand_) /
+                       std::max(last_alloc_demand_, 10.0);
+    if (rel < cfg_.realloc_threshold && plan_.served_fraction >= 1.0) {
+      run_load_balancer();
+      return;
+    }
+  }
+  AllocationPlan plan = strategy_->allocate(demand, mult_estimates_);
+  has_plan_ = true;
+  last_alloc_demand_ = demand;
+  if (metadata_) {
+    metadata_->record_demand(now, demand);
+    metadata_->record_plan(now, plan);
+    metadata_->record_mult_factors(mult_estimates_);
+  }
+  total_solve_time_s_ += plan.solve_time_s;
+  ++allocations_;
+  apply_plan(std::move(plan));
+  run_load_balancer();  // LB runs on every allocation change (§5.1)
+  metrics_.record_allocation(now, plan_.solve_time_s,
+                             static_cast<int>(plan_.mode));
+}
+
+void ServingSystem::run_load_balancer() {
+  const double now = sim_->now();
+  routing_ =
+      lb_.most_accurate_first(plan_, demand_.estimate(now), mult_estimates_);
+}
+
+void ServingSystem::run_heartbeat() {
+  const double now = sim_->now();
+  // Fold observed multiplicative factors into the estimates.
+  for (std::size_t t = 0; t < obs_in_.size(); ++t) {
+    if (graph_->is_sink(static_cast<int>(t))) continue;
+    for (std::size_t k = 0; k < obs_in_[t].size(); ++k) {
+      if (obs_in_[t][k] < 1.0) continue;
+      const double observed = obs_out_[t][k] / obs_in_[t][k];
+      // Scale the EWMA weight by the window's sample count: a near-empty
+      // window (trace tail, cold variant) is Poisson noise, not signal.
+      const double alpha =
+          cfg_.mult_ewma_alpha * std::min(1.0, obs_in_[t][k] / 30.0);
+      mult_estimates_[t][k] =
+          alpha * observed + (1.0 - alpha) * mult_estimates_[t][k];
+      obs_in_[t][k] = 0.0;
+      obs_out_[t][k] = 0.0;
+    }
+  }
+  // Per-task arrival rates for pipeline-agnostic strategies (Proteus).
+  std::vector<double> rates(task_window_arrivals_.size(), 0.0);
+  for (std::size_t t = 0; t < rates.size(); ++t) {
+    rates[t] = task_window_arrivals_[t] / cfg_.heartbeat_period_s;
+    task_window_arrivals_[t] = 0.0;
+  }
+  strategy_->observe_task_demand(rates);
+  metrics_.record_utilization(now, plan_.servers_used,
+                              cfg_.allocator.cluster_size);
+
+  // §4.2: the Resource Manager reallocates between periodic invocations
+  // when it detects a significant demand change (e.g. cold start or a
+  // burst arriving right after a periodic run).
+  const double est = demand_.estimate(now);
+  const bool surge = est > last_alloc_demand_ * 1.25 + 1.0;
+  const bool collapse = est < last_alloc_demand_ * 0.5 - 1.0;
+  if (surge || collapse) run_resource_manager();
+}
+
+void ServingSystem::apply_plan(AllocationPlan plan) {
+  const int ngroups = static_cast<int>(plan.instances.size());
+  std::vector<std::vector<int>> new_group_workers(
+      static_cast<std::size_t>(ngroups));
+  std::vector<int> slots_left(static_cast<std::size_t>(ngroups));
+  for (int gi = 0; gi < ngroups; ++gi) {
+    slots_left[static_cast<std::size_t>(gi)] =
+        plan.instances[static_cast<std::size_t>(gi)].replicas;
+  }
+
+  std::vector<bool> worker_placed(workers_.size(), false);
+  std::vector<cluster::WorkItem> flushed;
+
+  // Pass 1: keep workers already hosting the right (task, variant); a batch
+  // parameter change is free.
+  for (int gi = 0; gi < ngroups; ++gi) {
+    const auto& ic = plan.instances[static_cast<std::size_t>(gi)];
+    for (std::size_t wi = 0;
+         wi < workers_.size() && slots_left[static_cast<std::size_t>(gi)] > 0;
+         ++wi) {
+      auto& w = *workers_[wi];
+      if (worker_placed[wi] || !w.active()) continue;
+      if (w.task() == ic.task && w.variant() == ic.variant) {
+        auto items = w.assign(
+            ic.task, ic.variant,
+            &graph_->task(ic.task).catalog.at(ic.variant), ic.batch,
+            /*swap_cost=*/false);
+        for (auto& item : items) flushed.push_back(item);
+        new_group_workers[static_cast<std::size_t>(gi)].push_back(w.id());
+        worker_placed[wi] = true;
+        --slots_left[static_cast<std::size_t>(gi)];
+      }
+    }
+  }
+  // Pass 2a: fill remaining slots with idle workers (loading an idle
+  // worker costs no serving capacity, so these start immediately).
+  std::vector<std::pair<int, int>> deferred;  // (worker id, group)
+  for (int gi = 0; gi < ngroups; ++gi) {
+    const auto& ic = plan.instances[static_cast<std::size_t>(gi)];
+    for (std::size_t wi = 0;
+         wi < workers_.size() && slots_left[static_cast<std::size_t>(gi)] > 0;
+         ++wi) {
+      auto& w = *workers_[wi];
+      if (worker_placed[wi] || w.active()) continue;
+      auto items = w.assign(ic.task, ic.variant,
+                            &graph_->task(ic.task).catalog.at(ic.variant),
+                            ic.batch, cfg_.model_swap_cost);
+      for (auto& item : items) flushed.push_back(item);
+      new_group_workers[static_cast<std::size_t>(gi)].push_back(w.id());
+      worker_placed[wi] = true;
+      --slots_left[static_cast<std::size_t>(gi)];
+    }
+  }
+  // Pass 2b: repurpose active workers — deferred behind the rolling-update
+  // bound so the cluster never loses more than max_concurrent_swaps
+  // workers' worth of capacity at once. Until their turn they keep serving
+  // their old variant.
+  for (int gi = 0; gi < ngroups; ++gi) {
+    for (std::size_t wi = 0;
+         wi < workers_.size() && slots_left[static_cast<std::size_t>(gi)] > 0;
+         ++wi) {
+      auto& w = *workers_[wi];
+      if (worker_placed[wi] || !w.active()) continue;
+      deferred.push_back({w.id(), gi});
+      worker_placed[wi] = true;
+      --slots_left[static_cast<std::size_t>(gi)];
+    }
+  }
+  // Deactivate everything not placed (hardware scale-down).
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    if (!worker_placed[wi] && workers_[wi]->active()) {
+      auto items = workers_[wi]->deactivate();
+      for (auto& item : items) flushed.push_back(item);
+    }
+  }
+  // Unstaffed groups first: a group with zero ready workers blocks its
+  // share of routed traffic entirely.
+  std::stable_sort(deferred.begin(), deferred.end(),
+                   [&](const auto& a, const auto& b) {
+                     const auto staffed = [&](int gi) {
+                       return new_group_workers[static_cast<std::size_t>(gi)]
+                           .size();
+                     };
+                     return staffed(a.second) < staffed(b.second);
+                   });
+  pending_swaps_.assign(deferred.begin(), deferred.end());
+
+  plan_ = std::move(plan);
+  group_workers_ = std::move(new_group_workers);
+  worker_group_.assign(workers_.size(), -1);
+  for (std::size_t gi = 0; gi < group_workers_.size(); ++gi) {
+    for (int wid : group_workers_[gi]) {
+      worker_group_[static_cast<std::size_t>(wid)] = static_cast<int>(gi);
+    }
+  }
+  recompute_descendant_budgets();
+  kick_pending_swaps();
+  redistribute(std::move(flushed));
+}
+
+void ServingSystem::kick_pending_swaps() {
+  while (swaps_in_flight_ < cfg_.max_concurrent_swaps &&
+         !pending_swaps_.empty()) {
+    const auto [wid, gi] = pending_swaps_.front();
+    pending_swaps_.pop_front();
+    if (gi >= static_cast<int>(plan_.instances.size())) continue;  // stale
+    const auto& ic = plan_.instances[static_cast<std::size_t>(gi)];
+    auto& w = *workers_[static_cast<std::size_t>(wid)];
+    if (!w.active()) continue;  // deactivated meanwhile
+    const auto* model = &graph_->task(ic.task).catalog.at(ic.variant);
+    const bool pays_swap = cfg_.model_swap_cost && w.variant() != ic.variant;
+    auto items = w.assign(ic.task, ic.variant, model, ic.batch, pays_swap);
+    group_workers_[static_cast<std::size_t>(gi)].push_back(wid);
+    worker_group_[static_cast<std::size_t>(wid)] = gi;
+    redistribute(std::move(items));
+    if (pays_swap && model->load_time_s > 0.0) {
+      ++swaps_in_flight_;
+      sim_->schedule_after(model->load_time_s + 1e-6, [this]() {
+        --swaps_in_flight_;
+        kick_pending_swaps();
+      });
+    }
+  }
+}
+
+void ServingSystem::recompute_descendant_budgets() {
+  const auto& g = *graph_;
+  // Replica-weighted mean runtime budget per task under the current plan.
+  std::vector<double> mean_budget(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  std::vector<double> weight(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  for (const auto& ic : plan_.instances) {
+    const auto it = plan_.latency_budget_s.find({ic.task, ic.variant});
+    if (it == plan_.latency_budget_s.end()) continue;
+    mean_budget[static_cast<std::size_t>(ic.task)] +=
+        it->second * static_cast<double>(ic.replicas);
+    weight[static_cast<std::size_t>(ic.task)] +=
+        static_cast<double>(ic.replicas);
+  }
+  for (std::size_t t = 0; t < mean_budget.size(); ++t) {
+    if (weight[t] > 0.0) mean_budget[t] /= weight[t];
+  }
+  // desc_budget[t] = worst-case remaining chain below t (budgets + hops).
+  desc_budget_.assign(static_cast<std::size_t>(g.num_tasks()), 0.0);
+  auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int t = *it;
+    double worst = 0.0;
+    for (int c : g.children(t)) {
+      worst = std::max(worst, cfg_.allocator.comm_latency_s +
+                                  mean_budget[static_cast<std::size_t>(c)] +
+                                  desc_budget_[static_cast<std::size_t>(c)]);
+    }
+    desc_budget_[static_cast<std::size_t>(t)] = worst;
+  }
+}
+
+void ServingSystem::redistribute(std::vector<cluster::WorkItem>&& items) {
+  const double now = sim_->now();
+  for (auto& item : items) {
+    const int wid = pick_worker_for_task(item.task);
+    if (wid < 0) {
+      drop_query_part(item.query_id, now);
+      continue;
+    }
+    item.enqueue_time = now;
+    workers_[static_cast<std::size_t>(wid)]->enqueue(item);
+  }
+}
+
+}  // namespace loki::serving

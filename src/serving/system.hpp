@@ -1,0 +1,212 @@
+// The serving system runtime: composes the Frontend, Controller (Resource
+// Manager + Load Balancer + Metadata Store state), and the simulated worker
+// cluster into the full query-processing loop of §3:
+//
+//   client -> Frontend -> first-task workers -> ... -> sinks -> Frontend
+//
+// with periodic control events: Resource Manager re-allocation (10 s in the
+// paper), Load Balancer routing refresh, and worker heartbeats that report
+// observed multiplicative factors. The runtime also implements the §5.2
+// early-dropping policies (none / last-task / per-task / opportunistic
+// rerouting), selected per experiment for the Fig. 7 ablation.
+//
+// The same runtime hosts Loki and both baselines: the allocation strategy is
+// injected (MilpAllocator, baselines::InferLineStrategy,
+// baselines::ProteusStrategy).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/worker.hpp"
+#include "common/rng.hpp"
+#include "pipeline/graph.hpp"
+#include "serving/allocation.hpp"
+#include "serving/load_balancer.hpp"
+#include "serving/metadata_store.hpp"
+#include "serving/metrics.hpp"
+#include "serving/types.hpp"
+#include "sim/simulation.hpp"
+#include "trace/demand_estimator.hpp"
+
+namespace loki::serving {
+
+/// Early-dropping policy (§5.2, ablated in Fig. 7).
+enum class DropPolicy { kNone, kLastTask, kPerTask, kOpportunisticReroute };
+
+std::string to_string(DropPolicy p);
+
+struct SystemConfig {
+  AllocatorConfig allocator;
+  /// Resource Manager invocation period (§4.2 uses 10 s).
+  double rm_period_s = 10.0;
+  /// Load Balancer refresh period between RM runs (§5.1).
+  double lb_period_s = 2.0;
+  /// Worker heartbeat period (multiplicative-factor reports, §3).
+  double heartbeat_period_s = 1.0;
+  double metrics_window_s = 10.0;
+  DropPolicy drop_policy = DropPolicy::kOpportunisticReroute;
+  /// Relative jitter on worker execution times (0 = deterministic; the
+  /// simulator-validation bench uses this to model the prototype gap).
+  double exec_noise_frac = 0.0;
+  /// Relative jitter on network hops.
+  double comm_jitter_frac = 0.0;
+  /// Straggler batches: with this probability a batch runs 1.5x..scale
+  /// slower (models contention/throttling on a physical cluster).
+  double straggler_prob = 0.0;
+  double straggler_scale = 3.0;
+  /// Pay model-load latency when a worker changes variant.
+  bool model_swap_cost = true;
+  /// Rolling-update bound: at most this many *serving* workers swap their
+  /// variant concurrently after a plan change. The rest keep serving their
+  /// old variant (same task, different accuracy point) until their turn, so
+  /// a re-allocation never craters cluster capacity.
+  int max_concurrent_swaps = 5;
+  /// EWMA weight for observed multiplicative factors.
+  double mult_ewma_alpha = 0.3;
+  /// Re-allocation hysteresis: the Resource Manager keeps the current plan
+  /// when the demand estimate moved less than this relative amount since the
+  /// last allocation. Prevents variant-flapping (and the model-swap storms
+  /// it causes) when demand is merely noisy.
+  double realloc_threshold = 0.06;
+  /// Queries arriving before this time are served but not counted in the
+  /// metrics (deployment warm-up; the cluster starts empty).
+  double metrics_warmup_s = 0.0;
+  /// Worker micro-batching wait (0 = serve immediately).
+  double batch_wait_s = 0.0;
+  trace::DemandEstimatorConfig demand;
+  std::uint64_t seed = 1234;
+};
+
+class ServingSystem {
+ public:
+  /// `graph` and `strategy` must outlive the system. `profiles` is the
+  /// Metadata Store's profiled q(i,k,b) table shared with the strategy.
+  ServingSystem(sim::Simulation* sim, const pipeline::PipelineGraph* graph,
+                ProfileTable profiles, AllocationStrategy* strategy,
+                SystemConfig cfg);
+  ~ServingSystem();
+
+  ServingSystem(const ServingSystem&) = delete;
+  ServingSystem& operator=(const ServingSystem&) = delete;
+
+  /// Performs the initial allocation and schedules the periodic control
+  /// events. Call once before submitting queries.
+  void start();
+
+  /// Client query arriving now (drives one end-to-end pipeline execution).
+  void submit();
+
+  /// Stops periodic events and flushes metrics windows at `t_end`.
+  void finish(double t_end);
+
+  /// Attaches a Metadata Store (§3) that records demand estimates, plan
+  /// history and multiplicative-factor estimates as the controller works.
+  void attach_metadata_store(MetadataStore* store);
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const AllocationPlan& current_plan() const { return plan_; }
+  const RoutingPlan& current_routing() const { return routing_; }
+  const pipeline::MultFactorTable& mult_estimates() const {
+    return mult_estimates_;
+  }
+  /// Workers currently hosting an instance.
+  int active_workers() const;
+  /// Total allocation-solve wall time spent so far (RM overhead, §6.5).
+  double total_solve_time_s() const { return total_solve_time_s_; }
+  int allocations_performed() const { return allocations_; }
+
+ private:
+  struct QueryState {
+    double arrival = 0.0;
+    double deadline = 0.0;
+    int outstanding = 0;
+    bool dropped = false;
+    bool metered = true;  // false during the warm-up window
+    double accuracy_sum = 0.0;
+    int sink_completions = 0;
+  };
+
+  void on_batch_done(cluster::Worker& w, std::vector<cluster::WorkItem>&& items,
+                     const cluster::Worker::BatchContext& ctx);
+  void on_dropped_items(cluster::Worker& w,
+                        std::vector<cluster::WorkItem>&& items);
+  bool last_task_filter(const cluster::Worker& w,
+                        const cluster::WorkItem& item) const;
+
+  void run_resource_manager();
+  void run_load_balancer();
+  void run_heartbeat();
+
+  void apply_plan(AllocationPlan plan);
+  void redistribute(std::vector<cluster::WorkItem>&& items);
+  /// Starts deferred swaps while under the concurrency bound.
+  void kick_pending_swaps();
+
+  /// Picks a group from a route distribution; -1 when the draw lands in the
+  /// unplaced remainder (shed/drop).
+  int pick_group(const std::vector<GroupRoute>& routes);
+  /// Least-loaded active worker of a group; -1 if the group has none.
+  int pick_worker(int group) const;
+  /// Least-loaded active worker hosting `task` (any variant).
+  int pick_worker_for_task(int task) const;
+
+  void forward_item(cluster::WorkItem item, int group);
+  /// Expected remaining time budget below `task` (mean per-task budgets of
+  /// the plan plus per-hop comm), for the rerouting feasibility test.
+  double descendant_budget(int task) const {
+    return desc_budget_[static_cast<std::size_t>(task)];
+  }
+  void recompute_descendant_budgets();
+  void drop_query_part(std::uint64_t query_id, double now);
+  void complete_part(std::uint64_t query_id, double now);
+  double runtime_budget(int task, int variant, int batch) const;
+  double comm_delay();
+
+  sim::Simulation* sim_;
+  const pipeline::PipelineGraph* graph_;
+  ProfileTable profiles_;
+  AllocationStrategy* strategy_;
+  SystemConfig cfg_;
+
+  LoadBalancer lb_;
+  Metrics metrics_;
+  trace::DemandEstimator demand_;
+
+  AllocationPlan plan_;
+  RoutingPlan routing_;
+  std::vector<double> desc_budget_;  // per task
+  pipeline::MultFactorTable mult_estimates_;
+
+  std::vector<std::unique_ptr<cluster::Worker>> workers_;
+  std::vector<std::vector<int>> group_workers_;  // plan group -> worker ids
+  std::vector<int> worker_group_;                // worker id -> group (-1)
+  std::deque<std::pair<int, int>> pending_swaps_;  // (worker id, group)
+  int swaps_in_flight_ = 0;
+
+  std::unordered_map<std::uint64_t, QueryState> queries_;
+  std::uint64_t next_query_id_ = 1;
+
+  // Observed multiplicative factors since the last heartbeat.
+  std::vector<std::vector<double>> obs_in_;   // [task][variant]
+  std::vector<std::vector<double>> obs_out_;  // [task][variant]
+  std::vector<double> task_window_arrivals_;  // per task, for Proteus
+
+  Rng rng_routing_;
+  Rng rng_mult_;
+  Rng rng_jitter_;
+  Rng rng_shed_;
+
+  MetadataStore* metadata_ = nullptr;
+  bool started_ = false;
+  bool stopped_ = false;
+  bool has_plan_ = false;
+  double last_alloc_demand_ = 0.0;
+  double total_solve_time_s_ = 0.0;
+  int allocations_ = 0;
+};
+
+}  // namespace loki::serving

@@ -1,0 +1,28 @@
+#include "serving/types.hpp"
+
+namespace loki::serving {
+
+std::string to_string(ScalingMode m) {
+  switch (m) {
+    case ScalingMode::kHardware: return "hardware";
+    case ScalingMode::kAccuracy: return "accuracy";
+    case ScalingMode::kOverload: return "overload";
+  }
+  return "?";
+}
+
+int AllocationPlan::total_replicas() const {
+  int n = 0;
+  for (const auto& ic : instances) n += ic.replicas;
+  return n;
+}
+
+int AllocationPlan::replicas_of(int task, int variant) const {
+  int n = 0;
+  for (const auto& ic : instances) {
+    if (ic.task == task && ic.variant == variant) n += ic.replicas;
+  }
+  return n;
+}
+
+}  // namespace loki::serving

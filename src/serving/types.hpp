@@ -1,0 +1,83 @@
+// Shared types for the serving layer: resource-allocation plans and the
+// strategy interface implemented by Loki and the two baselines.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/paths.hpp"
+
+namespace loki::serving {
+
+/// Which regime produced the plan (§4: hardware scaling first, accuracy
+/// scaling when the cluster is exhausted, overload when even the cheapest
+/// variants cannot meet demand).
+enum class ScalingMode { kHardware, kAccuracy, kOverload };
+
+std::string to_string(ScalingMode m);
+
+/// One instance group of the plan: `replicas` workers all hosting variant
+/// `variant` of task `task`, configured with maximum batch size `batch`.
+struct InstanceConfig {
+  int task = -1;
+  int variant = -1;
+  int batch = 1;
+  int replicas = 0;
+};
+
+/// Fraction of a sink's queries assigned to one augmented-graph path
+/// (the c(p) of the MILP).
+struct PathFlow {
+  pipeline::VariantPath path;
+  double fraction = 0.0;
+};
+
+/// Output of the Resource Manager (§4.1): model variants to host, their
+/// replication factors and max batch sizes, plus the planned path flows the
+/// Load Balancer turns into routing tables.
+struct AllocationPlan {
+  ScalingMode mode = ScalingMode::kHardware;
+  std::vector<InstanceConfig> instances;
+  std::vector<PathFlow> flows;
+
+  /// Planned system accuracy (averaged across sinks; Eq. 12 objective).
+  double expected_accuracy = 1.0;
+  /// Fraction of incoming demand the plan serves (< 1 only in overload).
+  double served_fraction = 1.0;
+  int servers_used = 0;
+  double demand_qps = 0.0;
+  /// Runtime latency budget per (task, variant): 2x the configured batch
+  /// execution latency (the SLO/2 queueing rule of §4.1 unwound for
+  /// runtime checks; §5.2 uses these budgets for early dropping).
+  std::map<std::pair<int, int>, double> latency_budget_s;
+  double solve_time_s = 0.0;
+  bool feasible = true;
+
+  int total_replicas() const;
+  /// Replicas hosting (task, variant) summed over batch configs.
+  int replicas_of(int task, int variant) const;
+};
+
+/// Allocation strategy interface: Loki's MILP allocator and the InferLine /
+/// Proteus baselines all implement this, so the runtime and benches can swap
+/// them freely.
+class AllocationStrategy {
+ public:
+  virtual ~AllocationStrategy() = default;
+
+  /// Produces a plan for the given demand estimate and the current
+  /// multiplicative-factor estimates (observed at runtime, §4.2).
+  virtual AllocationPlan allocate(double demand_qps,
+                                  const pipeline::MultFactorTable& mult) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Per-task demand observations (QPS arriving at each task), which
+  /// pipeline-agnostic strategies (Proteus) use instead of the pipeline
+  /// structure. Called by the controller before allocate(). Default: ignore.
+  virtual void observe_task_demand(const std::vector<double>& /*qps*/) {}
+};
+
+}  // namespace loki::serving

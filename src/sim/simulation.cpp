@@ -1,0 +1,65 @@
+#include "sim/simulation.hpp"
+
+#include "common/check.hpp"
+
+namespace loki::sim {
+
+Simulation::EventId Simulation::schedule_at(Time t, Callback cb) {
+  LOKI_CHECK_MSG(t >= now_, "cannot schedule in the past: t=" << t
+                                                              << " now=" << now_);
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Entry{t, id, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+Simulation::EventId Simulation::schedule_after(double dt, Callback cb) {
+  LOKI_CHECK(dt >= 0.0);
+  return schedule_at(now_ + dt, std::move(cb));
+}
+
+void Simulation::cancel(EventId id) {
+  if (!id.valid()) return;
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return;  // already fired
+  cancelled_.insert(id.value);
+  callbacks_.erase(it);
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(e.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(e.id);
+    LOKI_CHECK(cb_it != callbacks_.end());
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = e.t;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(Time t_end) {
+  LOKI_CHECK(t_end >= now_);
+  while (!queue_.empty()) {
+    const Entry& e = queue_.top();
+    if (e.t > t_end) break;
+    step();
+  }
+  now_ = t_end;
+}
+
+void Simulation::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace loki::sim

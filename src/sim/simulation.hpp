@@ -1,0 +1,72 @@
+// Deterministic discrete-event simulation core.
+//
+// This is the substrate that stands in for the paper's GPU cluster (§6.1
+// notes the authors themselves run all parameter sweeps on a discrete-event
+// simulator after validating it against the prototype). Events at equal
+// timestamps are processed in schedule order (a strictly increasing
+// sequence number breaks ties), so runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace loki::sim {
+
+/// Simulated time, seconds since experiment start.
+using Time = double;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  struct EventId {
+    std::uint64_t value = 0;
+    bool valid() const { return value != 0; }
+  };
+
+  Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now). Returns a handle usable
+  /// with cancel().
+  EventId schedule_at(Time t, Callback cb);
+  /// Schedules `cb` `dt` seconds from now (dt >= 0).
+  EventId schedule_after(double dt, Callback cb);
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events with time <= t_end; afterwards now() == t_end.
+  void run_until(Time t_end);
+  /// Runs until no events remain.
+  void run_all();
+  /// Processes a single event; returns false when the queue is empty.
+  bool step();
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct EntryCompare {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace loki::sim

@@ -1,0 +1,122 @@
+#include "solver/lp.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace loki::solver {
+
+int LpProblem::add_variable(std::string name, double lo, double hi,
+                            double obj_coeff, VarType type) {
+  LOKI_CHECK_MSG(lo <= hi, "variable " << name << " has empty bound range");
+  LOKI_CHECK_MSG(std::isfinite(lo), "variable " << name
+                                                << " needs a finite lower bound");
+  if (type == VarType::kBinary) {
+    LOKI_CHECK(lo >= 0.0 && hi <= 1.0);
+  }
+  obj_.push_back(obj_coeff);
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  types_.push_back(type);
+  names_.push_back(std::move(name));
+  return static_cast<int>(obj_.size()) - 1;
+}
+
+void LpProblem::add_constraint(Constraint c) {
+  // Merge duplicate variable indices so downstream code can assume one
+  // coefficient per variable per row.
+  std::map<int, double> merged;
+  for (const auto& [var, coeff] : c.terms) {
+    LOKI_CHECK(var >= 0 && var < num_variables());
+    merged[var] += coeff;
+  }
+  c.terms.assign(merged.begin(), merged.end());
+  constraints_.push_back(std::move(c));
+}
+
+void LpProblem::set_objective_coeff(int var, double coeff) {
+  LOKI_CHECK(var >= 0 && var < num_variables());
+  obj_[var] = coeff;
+}
+
+void LpProblem::set_bounds(int var, double lo, double hi) {
+  LOKI_CHECK(var >= 0 && var < num_variables());
+  LOKI_CHECK(lo <= hi);
+  lo_[var] = lo;
+  hi_[var] = hi;
+}
+
+bool LpProblem::is_mip() const {
+  for (VarType t : types_) {
+    if (t != VarType::kContinuous) return true;
+  }
+  return false;
+}
+
+double LpProblem::objective_value(const std::vector<double>& x) const {
+  LOKI_CHECK(static_cast<int>(x.size()) == num_variables());
+  double v = obj_offset_;
+  for (int j = 0; j < num_variables(); ++j) v += obj_[j] * x[j];
+  return v;
+}
+
+bool LpProblem::is_feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_variables()) return false;
+  for (int j = 0; j < num_variables(); ++j) {
+    if (x[j] < lo_[j] - tol || x[j] > hi_[j] + tol) return false;
+    if (types_[j] != VarType::kContinuous &&
+        std::abs(x[j] - std::round(x[j])) > tol) {
+      return false;
+    }
+  }
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.terms) lhs += coeff * x[var];
+    switch (c.rel) {
+      case Relation::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Relation::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Relation::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string LpProblem::to_string() const {
+  std::ostringstream os;
+  os << (sense_ == Sense::kMinimize ? "min" : "max");
+  for (int j = 0; j < num_variables(); ++j) {
+    if (obj_[j] != 0.0) os << " + " << obj_[j] << "*" << names_[j];
+  }
+  os << "\nsubject to:\n";
+  for (const auto& c : constraints_) {
+    os << "  ";
+    for (const auto& [var, coeff] : c.terms) {
+      os << " + " << coeff << "*" << names_[var];
+    }
+    switch (c.rel) {
+      case Relation::kLe: os << " <= "; break;
+      case Relation::kGe: os << " >= "; break;
+      case Relation::kEq: os << " == "; break;
+    }
+    os << c.rhs;
+    if (!c.name.empty()) os << "   [" << c.name << "]";
+    os << "\n";
+  }
+  for (int j = 0; j < num_variables(); ++j) {
+    os << "  " << lo_[j] << " <= " << names_[j] << " <= " << hi_[j];
+    if (types_[j] == VarType::kInteger) os << " integer";
+    if (types_[j] == VarType::kBinary) os << " binary";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace loki::solver

@@ -1,0 +1,210 @@
+#include "solver/milp.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace loki::solver {
+
+std::string to_string(MilpStatus s) {
+  switch (s) {
+    case MilpStatus::kOptimal: return "optimal";
+    case MilpStatus::kFeasible: return "feasible";
+    case MilpStatus::kInfeasible: return "infeasible";
+    case MilpStatus::kUnbounded: return "unbounded";
+    case MilpStatus::kNoSolution: return "no-solution";
+  }
+  return "?";
+}
+
+namespace {
+
+struct BoundDelta {
+  int var;
+  double lo;
+  double hi;
+};
+
+struct Node {
+  double bound;  // parent LP objective in *minimization* terms
+  int depth;
+  std::vector<BoundDelta> deltas;
+  std::uint64_t seq;  // insertion order, deterministic tie-break
+};
+
+struct NodeCompare {
+  // Best-first: smaller bound first (minimization); FIFO on ties.
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.seq > b.seq;
+  }
+};
+
+// Round near-integral entries exactly; returns false if any integer variable
+// is materially fractional.
+bool snap_integral(const LpProblem& p, std::vector<double>& x, double tol) {
+  for (int j = 0; j < p.num_variables(); ++j) {
+    if (p.var_type(j) == VarType::kContinuous) continue;
+    const double r = std::round(x[j]);
+    if (std::abs(x[j] - r) > tol) return false;
+    x[j] = r;
+  }
+  return true;
+}
+
+}  // namespace
+
+MilpSolution BranchAndBound::solve(
+    const LpProblem& base,
+    const std::optional<std::vector<double>>& warm_start) const {
+  using Clock = std::chrono::steady_clock;
+  const auto t_start = Clock::now();
+  const auto deadline =
+      t_start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(options_.time_limit_s));
+
+  MilpSolution out;
+  const double sense_sign = base.sense() == Sense::kMinimize ? 1.0 : -1.0;
+
+  // Incumbent tracked in minimization terms.
+  double incumbent_obj = kInf;
+  std::vector<double> incumbent;
+  if (warm_start) {
+    std::vector<double> x = *warm_start;
+    if (base.is_feasible(x, 1e-6) && snap_integral(base, x, 1e-6) &&
+        base.is_feasible(x, 1e-6)) {
+      incumbent = std::move(x);
+      incumbent_obj = sense_sign * base.objective_value(incumbent);
+    } else {
+      LOG_DEBUG("MILP warm start rejected (not integer-feasible)");
+    }
+  }
+
+  SimplexSolver lp_solver(options_.lp);
+
+  std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
+  std::uint64_t seq = 0;
+  open.push(Node{-kInf, 0, {}, seq++});
+
+  double best_open_bound = -kInf;  // for gap reporting
+  bool truncated = false;
+  bool root_unbounded = false;
+
+  while (!open.empty()) {
+    if (out.nodes_explored >= options_.max_nodes || Clock::now() >= deadline) {
+      truncated = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+
+    // Prune by bound before paying for the LP.
+    if (node.bound >= incumbent_obj - options_.gap_tol) continue;
+
+    // Materialize the node problem: base + bound deltas.
+    LpProblem p = base;
+    bool empty_box = false;
+    for (const auto& d : node.deltas) {
+      const double lo = std::max(d.lo, p.lower_bound(d.var));
+      const double hi = std::min(d.hi, p.upper_bound(d.var));
+      if (lo > hi) {
+        empty_box = true;
+        break;
+      }
+      p.set_bounds(d.var, lo, hi);
+    }
+    if (empty_box) continue;
+
+    LpSolution rel = lp_solver.solve(p);
+    ++out.nodes_explored;
+    out.lp_iterations += rel.iterations;
+
+    if (rel.status == LpStatus::kInfeasible) continue;
+    if (rel.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the MILP itself is
+      // unbounded or needs bounds we don't have; report and stop.
+      if (node.depth == 0) root_unbounded = true;
+      truncated = true;
+      break;
+    }
+    if (rel.status == LpStatus::kIterLimit) {
+      truncated = true;
+      continue;  // cannot trust this node's bound; drop it conservatively
+    }
+
+    const double node_obj = sense_sign * rel.objective;
+    if (node_obj >= incumbent_obj - options_.gap_tol) continue;
+
+    // Find the most fractional integer variable.
+    int branch_var = -1;
+    double branch_frac_dist = -1.0;
+    for (int j = 0; j < base.num_variables(); ++j) {
+      if (base.var_type(j) == VarType::kContinuous) continue;
+      const double v = rel.values[j];
+      const double frac = v - std::floor(v);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist > options_.int_tol && dist > branch_frac_dist) {
+        branch_frac_dist = dist;
+        branch_var = j;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integer feasible: new incumbent.
+      std::vector<double> x = rel.values;
+      snap_integral(base, x, options_.int_tol * 4 + 1e-9);
+      if (base.is_feasible(x, 1e-5)) {
+        const double obj = sense_sign * base.objective_value(x);
+        if (obj < incumbent_obj - options_.gap_tol) {
+          incumbent_obj = obj;
+          incumbent = std::move(x);
+        }
+      }
+      continue;
+    }
+
+    const double v = rel.values[branch_var];
+    // Down child: x <= floor(v); up child: x >= ceil(v).
+    Node down{node_obj, node.depth + 1, node.deltas, seq++};
+    down.deltas.push_back({branch_var, -kInf, std::floor(v)});
+    Node up{node_obj, node.depth + 1, node.deltas, seq++};
+    up.deltas.push_back({branch_var, std::ceil(v), kInf});
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  // Gap: distance between incumbent and the best still-open bound.
+  best_open_bound = incumbent_obj;
+  if (truncated && !open.empty()) {
+    best_open_bound = open.top().bound;
+  }
+
+  if (incumbent.empty()) {
+    if (root_unbounded) {
+      out.status = MilpStatus::kUnbounded;
+    } else if (truncated) {
+      out.status = MilpStatus::kNoSolution;
+    } else {
+      out.status = MilpStatus::kInfeasible;
+    }
+    return out;
+  }
+
+  out.values = std::move(incumbent);
+  out.objective = base.objective_value(out.values);
+  if (!truncated) {
+    out.gap = 0.0;
+    out.status = MilpStatus::kOptimal;
+  } else {
+    out.gap = std::max(0.0, incumbent_obj - best_open_bound);
+    out.status = out.gap <= options_.gap_tol ? MilpStatus::kOptimal
+                                             : MilpStatus::kFeasible;
+  }
+  return out;
+}
+
+}  // namespace loki::solver

@@ -1,0 +1,331 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace loki::solver {
+
+std::string to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// Internal standard-form tableau:
+//   minimize c·x   s.t.  A x = b,  x >= 0,  b >= 0
+// built from the LpProblem by (1) shifting each variable by its lower bound,
+// (2) materializing finite upper bounds as rows, (3) adding slack/surplus
+// and artificial columns.
+struct Tableau {
+  int m = 0;                         // rows
+  int n = 0;                         // columns (all variables)
+  std::vector<double> a;             // m x n row-major
+  std::vector<double> b;             // rhs, length m
+  std::vector<int> basis;            // basic variable per row
+  std::vector<bool> artificial;     // per column
+  std::vector<double> cost;          // phase-2 cost per column
+  std::vector<bool> row_active;      // redundant rows disabled after phase 1
+
+  double& at(int i, int j) { return a[static_cast<std::size_t>(i) * n + j]; }
+  double at(int i, int j) const {
+    return a[static_cast<std::size_t>(i) * n + j];
+  }
+};
+
+struct PivotResult {
+  bool moved = false;
+  bool unbounded = false;
+  bool degenerate = false;
+};
+
+// One simplex pivot for the given cost vector. `allow_artificial_enter`
+// is false in phase 2.
+PivotResult pivot_step(Tableau& t, const std::vector<double>& cost,
+                       bool bland, bool allow_artificial_enter, double tol) {
+  // Reduced costs: d_j = cost_j - y·A_j with y_i = cost[basis[i]].
+  // Computed directly from the tableau: d_j = cost_j - sum_i cost[basis[i]]*T[i][j].
+  int enter = -1;
+  double best = -tol;
+  for (int j = 0; j < t.n; ++j) {
+    if (!allow_artificial_enter && t.artificial[j]) continue;
+    bool is_basic = false;
+    // Basic columns have reduced cost 0 by construction; skip via scan of
+    // basis is O(m) per column — instead rely on the numeric test below,
+    // which evaluates ~0 for basic columns anyway.
+    double d = cost[j];
+    for (int i = 0; i < t.m; ++i) {
+      if (!t.row_active[i]) continue;
+      const double aij = t.at(i, j);
+      if (aij != 0.0) d -= cost[t.basis[i]] * aij;
+      if (t.basis[i] == j) is_basic = true;
+    }
+    if (is_basic) continue;
+    if (bland) {
+      if (d < -tol) {
+        enter = j;
+        break;
+      }
+    } else if (d < best) {
+      best = d;
+      enter = j;
+    }
+  }
+  if (enter < 0) return {};  // optimal for this cost vector
+
+  // Ratio test.
+  int leave_row = -1;
+  double best_ratio = 0.0;
+  for (int i = 0; i < t.m; ++i) {
+    if (!t.row_active[i]) continue;
+    const double aij = t.at(i, enter);
+    if (aij > tol) {
+      const double ratio = t.b[i] / aij;
+      if (leave_row < 0 || ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol && t.basis[i] < t.basis[leave_row])) {
+        leave_row = i;
+        best_ratio = ratio;
+      }
+    }
+  }
+  if (leave_row < 0) return {.moved = false, .unbounded = true};
+
+  const bool degenerate = best_ratio < tol;
+
+  // Pivot on (leave_row, enter).
+  const double piv = t.at(leave_row, enter);
+  const double inv = 1.0 / piv;
+  for (int j = 0; j < t.n; ++j) t.at(leave_row, j) *= inv;
+  t.b[leave_row] *= inv;
+  t.at(leave_row, enter) = 1.0;  // exact
+  for (int i = 0; i < t.m; ++i) {
+    if (i == leave_row || !t.row_active[i]) continue;
+    const double factor = t.at(i, enter);
+    if (factor == 0.0) continue;
+    for (int j = 0; j < t.n; ++j) {
+      t.at(i, j) -= factor * t.at(leave_row, j);
+    }
+    t.at(i, enter) = 0.0;  // exact
+    t.b[i] -= factor * t.b[leave_row];
+    if (t.b[i] < 0.0 && t.b[i] > -tol) t.b[i] = 0.0;
+  }
+  t.basis[leave_row] = enter;
+  return {.moved = true, .unbounded = false, .degenerate = degenerate};
+}
+
+// Runs simplex to optimality for `cost`. Returns final status.
+LpStatus run_simplex(Tableau& t, const std::vector<double>& cost,
+                     const SimplexOptions& opt, int& iterations) {
+  int degenerate_run = 0;
+  bool bland = false;
+  while (iterations < opt.max_iterations) {
+    PivotResult r =
+        pivot_step(t, cost, bland, /*allow_artificial_enter=*/false, opt.tol);
+    if (r.unbounded) return LpStatus::kUnbounded;
+    if (!r.moved) return LpStatus::kOptimal;
+    ++iterations;
+    if (r.degenerate) {
+      if (++degenerate_run >= opt.degenerate_switch) bland = true;
+    } else {
+      degenerate_run = 0;
+      bland = false;
+    }
+  }
+  return LpStatus::kIterLimit;
+}
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LpProblem& p) const {
+  const int nv = p.num_variables();
+  LpSolution out;
+  out.values.assign(nv, 0.0);
+
+  // --- Build the standard-form tableau. ---
+  // Shifted variables: x = lo + u, u >= 0.
+  std::vector<double> shift(nv);
+  for (int j = 0; j < nv; ++j) shift[j] = p.lower_bound(j);
+
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(p.constraints().size() + static_cast<std::size_t>(nv));
+  for (const auto& c : p.constraints()) {
+    double rhs = c.rhs;
+    for (const auto& [var, coeff] : c.terms) rhs -= coeff * shift[var];
+    rows.push_back({c.terms, c.rel, rhs});
+  }
+  // Finite upper bounds as rows: u_j <= hi_j - lo_j.
+  for (int j = 0; j < nv; ++j) {
+    const double hi = p.upper_bound(j);
+    if (std::isfinite(hi)) {
+      const double range = hi - shift[j];
+      if (range < 0.0) {
+        out.status = LpStatus::kInfeasible;  // empty box
+        return out;
+      }
+      rows.push_back({{{j, 1.0}}, Relation::kLe, range});
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  // Column layout: [structural vars | slack/surplus | artificials].
+  int n_slack = 0;
+  for (const auto& r : rows) {
+    if (r.rel != Relation::kEq) ++n_slack;
+  }
+  // Artificial needed for >= rows and = rows, and for <= rows whose rhs
+  // went negative after normalization (handled below by sign flip).
+  // We normalize rhs >= 0 first, then decide.
+  for (auto& r : rows) {
+    if (r.rhs < 0.0) {
+      r.rhs = -r.rhs;
+      for (auto& [var, coeff] : r.terms) coeff = -coeff;
+      r.rel = r.rel == Relation::kLe ? Relation::kGe
+              : r.rel == Relation::kGe ? Relation::kLe
+                                       : Relation::kEq;
+    }
+  }
+  n_slack = 0;
+  int n_art = 0;
+  for (const auto& r : rows) {
+    if (r.rel != Relation::kEq) ++n_slack;
+    if (r.rel != Relation::kLe) ++n_art;
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n = nv + n_slack + n_art;
+  t.a.assign(static_cast<std::size_t>(t.m) * t.n, 0.0);
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, -1);
+  t.artificial.assign(t.n, false);
+  t.row_active.assign(m, true);
+
+  int slack_col = nv;
+  int art_col = nv + n_slack;
+  for (int i = 0; i < m; ++i) {
+    const Row& r = rows[i];
+    for (const auto& [var, coeff] : r.terms) t.at(i, var) += coeff;
+    t.b[i] = r.rhs;
+    switch (r.rel) {
+      case Relation::kLe:
+        t.at(i, slack_col) = 1.0;
+        t.basis[i] = slack_col;
+        ++slack_col;
+        break;
+      case Relation::kGe:
+        t.at(i, slack_col) = -1.0;
+        ++slack_col;
+        t.at(i, art_col) = 1.0;
+        t.artificial[art_col] = true;
+        t.basis[i] = art_col;
+        ++art_col;
+        break;
+      case Relation::kEq:
+        t.at(i, art_col) = 1.0;
+        t.artificial[art_col] = true;
+        t.basis[i] = art_col;
+        ++art_col;
+        break;
+    }
+  }
+
+  out.iterations = 0;
+
+  // --- Phase 1: minimize sum of artificials. ---
+  if (n_art > 0) {
+    std::vector<double> phase1_cost(t.n, 0.0);
+    for (int j = nv + n_slack; j < t.n; ++j) phase1_cost[j] = 1.0;
+    // Phase 1 must allow artificials to *leave*; they are already basic.
+    int iters = out.iterations;
+    LpStatus s = run_simplex(t, phase1_cost, options_, iters);
+    out.iterations = iters;
+    if (s == LpStatus::kIterLimit) {
+      out.status = LpStatus::kIterLimit;
+      return out;
+    }
+    LOKI_CHECK(s != LpStatus::kUnbounded);  // phase-1 objective bounded below
+    double art_sum = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (t.artificial[t.basis[i]]) art_sum += t.b[i];
+    }
+    if (art_sum > options_.feas_tol) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    // Drive remaining basic artificials (at value ~0) out of the basis.
+    for (int i = 0; i < m; ++i) {
+      if (!t.artificial[t.basis[i]]) continue;
+      int enter = -1;
+      for (int j = 0; j < nv + n_slack; ++j) {
+        if (std::abs(t.at(i, j)) > options_.tol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) {
+        // Row is redundant (all-zero over real columns): deactivate.
+        t.row_active[i] = false;
+        continue;
+      }
+      const double piv = t.at(i, enter);
+      const double inv = 1.0 / piv;
+      for (int j = 0; j < t.n; ++j) t.at(i, j) *= inv;
+      t.b[i] *= inv;
+      for (int i2 = 0; i2 < m; ++i2) {
+        if (i2 == i || !t.row_active[i2]) continue;
+        const double factor = t.at(i2, enter);
+        if (factor == 0.0) continue;
+        for (int j = 0; j < t.n; ++j) t.at(i2, j) -= factor * t.at(i, j);
+        t.b[i2] -= factor * t.b[i];
+      }
+      t.basis[i] = enter;
+    }
+  }
+
+  // --- Phase 2: optimize the real objective (canonical min form). ---
+  const double sign = p.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  t.cost.assign(t.n, 0.0);
+  for (int j = 0; j < nv; ++j) t.cost[j] = sign * p.objective_coeff(j);
+
+  int iters = out.iterations;
+  LpStatus s = run_simplex(t, t.cost, options_, iters);
+  out.iterations = iters;
+  if (s == LpStatus::kUnbounded) {
+    out.status = LpStatus::kUnbounded;
+    return out;
+  }
+  if (s == LpStatus::kIterLimit) {
+    out.status = LpStatus::kIterLimit;
+    return out;
+  }
+
+  // Extract solution (undo the lower-bound shift).
+  std::vector<double> u(t.n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (t.row_active[i]) u[t.basis[i]] = t.b[i];
+  }
+  for (int j = 0; j < nv; ++j) {
+    double v = shift[j] + u[j];
+    // Clean tiny negative noise against bounds.
+    v = std::max(v, p.lower_bound(j));
+    if (std::isfinite(p.upper_bound(j))) v = std::min(v, p.upper_bound(j));
+    out.values[j] = v;
+  }
+  out.objective = p.objective_value(out.values);
+  out.status = LpStatus::kOptimal;
+  return out;
+}
+
+}  // namespace loki::solver

@@ -1,0 +1,50 @@
+// Dense two-phase primal simplex solver.
+//
+// Solves the LP relaxation of the Resource Manager's allocation models.
+// Design notes:
+//  * tableau form with a dense row-major matrix — the allocation LPs are a
+//    few hundred rows/columns, where dense beats sparse bookkeeping;
+//  * two-phase method with explicit artificial variables, so infeasibility
+//    is detected exactly (the hardware-scaling step *relies* on a clean
+//    infeasible verdict to trigger accuracy scaling, §4.1 step 1);
+//  * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//    degenerate pivots, guaranteeing termination.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "solver/lp.hpp"
+
+namespace loki::solver {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+std::string to_string(LpStatus s);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;            // includes the problem's offset
+  std::vector<double> values;        // one per problem variable
+  int iterations = 0;                // total simplex pivots (both phases)
+};
+
+struct SimplexOptions {
+  int max_iterations = 50000;
+  double tol = 1e-9;            // pivot / zero tolerance
+  double feas_tol = 1e-7;       // phase-1 residual treated as feasible
+  int degenerate_switch = 64;   // consecutive degenerate pivots before Bland
+};
+
+/// Solves the continuous relaxation of `problem` (integrality ignored).
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  LpSolution solve(const LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace loki::solver

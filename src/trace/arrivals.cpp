@@ -1,0 +1,50 @@
+#include "trace/arrivals.hpp"
+
+#include "common/check.hpp"
+
+namespace loki::trace {
+
+ArrivalStream::ArrivalStream(const DemandCurve& curve,
+                             const ArrivalConfig& config)
+    : curve_(curve), process_(config.process), rng_(config.seed) {
+  rate_cap_ = curve.peak();
+}
+
+double ArrivalStream::next() {
+  const double end = curve_.duration_s();
+  if (process_ == ArrivalProcess::kDeterministic) {
+    // Advance by 1/rate at the current instantaneous rate; skip over
+    // zero-rate stretches at curve resolution.
+    while (t_ < end) {
+      const double rate = curve_.at(t_);
+      if (rate <= 0.0) {
+        t_ += curve_.interval_s;
+        continue;
+      }
+      t_ += 1.0 / rate;
+      if (t_ >= end) return -1.0;
+      return t_;
+    }
+    return -1.0;
+  }
+  // Poisson thinning against the constant envelope rate_cap_.
+  if (rate_cap_ <= 0.0) return -1.0;
+  for (;;) {
+    t_ += rng_.exponential(rate_cap_);
+    if (t_ >= end) return -1.0;
+    if (rng_.uniform() * rate_cap_ <= curve_.at(t_)) return t_;
+  }
+}
+
+std::vector<double> sample_arrivals(const DemandCurve& curve,
+                                    const ArrivalConfig& config) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(curve.mean() * curve.duration_s()) + 16);
+  ArrivalStream stream(curve, config);
+  for (double t = stream.next(); t >= 0.0; t = stream.next()) {
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace loki::trace

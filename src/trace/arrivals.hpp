@@ -1,0 +1,45 @@
+// Converts a demand curve into a concrete stream of query arrival times via
+// a non-homogeneous Poisson process (thinning) or a deterministic spacing
+// process. The simulator's Frontend consumes these.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/generator.hpp"
+
+namespace loki::trace {
+
+enum class ArrivalProcess {
+  kPoisson,        // non-homogeneous Poisson (thinning against the curve)
+  kDeterministic,  // evenly spaced at the instantaneous rate
+};
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  std::uint64_t seed = 7;
+};
+
+/// Samples all arrival timestamps over the curve's duration, ascending.
+std::vector<double> sample_arrivals(const DemandCurve& curve,
+                                    const ArrivalConfig& config);
+
+/// Streaming form for very long traces: yields the next arrival after `t`,
+/// or a negative value when the trace is exhausted.
+class ArrivalStream {
+ public:
+  ArrivalStream(const DemandCurve& curve, const ArrivalConfig& config);
+
+  /// Next arrival strictly after the previously returned one; negative when
+  /// past the end of the curve.
+  double next();
+
+ private:
+  const DemandCurve& curve_;
+  ArrivalProcess process_;
+  Rng rng_;
+  double t_ = 0.0;
+  double rate_cap_ = 0.0;  // thinning envelope (curve peak)
+};
+
+}  // namespace loki::trace

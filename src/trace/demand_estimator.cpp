@@ -1,0 +1,36 @@
+#include "trace/demand_estimator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace loki::trace {
+
+DemandEstimator::DemandEstimator(DemandEstimatorConfig config)
+    : cfg_(config), ewma_(config.ewma_alpha) {
+  LOKI_CHECK(cfg_.window_s > 0.0);
+  LOKI_CHECK(cfg_.headroom >= 1.0);
+}
+
+void DemandEstimator::record_arrival(double t) {
+  roll_to(t);
+  ++count_in_window_;
+}
+
+void DemandEstimator::roll_to(double now) {
+  while (now >= window_start_ + cfg_.window_s) {
+    const double rate =
+        static_cast<double>(count_in_window_) / cfg_.window_s;
+    ewma_.add(rate);
+    last_window_rate_ = rate;
+    count_in_window_ = 0;
+    window_start_ += cfg_.window_s;
+  }
+}
+
+double DemandEstimator::estimate(double now) {
+  roll_to(now);
+  return std::max(ewma_.value(), last_window_rate_) * cfg_.headroom;
+}
+
+}  // namespace loki::trace

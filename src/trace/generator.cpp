@@ -1,0 +1,154 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace loki::trace {
+
+double DemandCurve::at(double t) const {
+  if (qps.empty()) return 0.0;
+  const double pos = t / interval_s;
+  if (pos <= 0.0) return qps.front();
+  const auto last = static_cast<double>(qps.size() - 1);
+  if (pos >= last) return qps.back();
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  return qps[lo] * (1.0 - frac) + qps[lo + 1] * frac;
+}
+
+double DemandCurve::peak() const {
+  double m = 0.0;
+  for (double q : qps) m = std::max(m, q);
+  return m;
+}
+
+double DemandCurve::mean() const {
+  if (qps.empty()) return 0.0;
+  double s = 0.0;
+  for (double q : qps) s += q;
+  return s / static_cast<double>(qps.size());
+}
+
+namespace {
+
+// Normalized [0,1] diurnal profile over x in [0,1): night trough, morning
+// ramp, midday plateau, evening peak, night fall — the qualitative shape of
+// the Azure Functions day the paper uses.
+double diurnal_profile(double x) {
+  // Sum of two Gaussians (midday ~x=0.45, evening peak ~x=0.78) on a base.
+  const double midday = std::exp(-std::pow((x - 0.45) / 0.13, 2.0));
+  const double evening = std::exp(-std::pow((x - 0.78) / 0.085, 2.0));
+  const double v = 0.62 * midday + 1.0 * evening;
+  return std::min(1.0, v);
+}
+
+}  // namespace
+
+DemandCurve generate_trace(const TraceConfig& cfg) {
+  LOKI_CHECK(cfg.duration_s > 0.0 && cfg.interval_s > 0.0);
+  LOKI_CHECK(cfg.peak_qps > 0.0);
+  LOKI_CHECK(cfg.base_fraction >= 0.0 && cfg.base_fraction <= 1.0);
+
+  const auto n = static_cast<std::size_t>(
+      std::ceil(cfg.duration_s / cfg.interval_s));
+  DemandCurve curve;
+  curve.interval_s = cfg.interval_s;
+  curve.qps.resize(n);
+
+  Rng rng(cfg.seed);
+  Rng burst_rng = rng.stream("bursts");
+  Rng noise_rng = rng.stream("noise");
+
+  // Pre-sample Twitter-style bursts: (start index, length, height fraction).
+  struct Burst {
+    std::size_t start;
+    std::size_t len;
+    double height;
+  };
+  std::vector<Burst> bursts;
+  if (cfg.shape == TraceShape::kTwitterBursty) {
+    const double expected =
+        cfg.burst_rate_per_hour * cfg.duration_s / 3600.0;
+    const auto count = burst_rng.poisson(expected);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Burst b;
+      b.start = static_cast<std::size_t>(burst_rng.uniform_index(n));
+      const double len_s = burst_rng.uniform(20.0, 120.0);
+      b.len = std::max<std::size_t>(
+          1, static_cast<std::size_t>(len_s / cfg.interval_s));
+      b.height = cfg.burst_magnitude * burst_rng.uniform(0.4, 1.0);
+      bursts.push_back(b);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    double v = 0.0;  // normalized [0, 1]
+    switch (cfg.shape) {
+      case TraceShape::kAzureDiurnal:
+      case TraceShape::kTwitterBursty:
+        v = cfg.base_fraction +
+            (1.0 - cfg.base_fraction) * diurnal_profile(x);
+        break;
+      case TraceShape::kRamp:
+        v = x;
+        break;
+      case TraceShape::kStep:
+        v = x < 0.5 ? cfg.base_fraction : 1.0;
+        break;
+      case TraceShape::kSine:
+        v = cfg.base_fraction +
+            (1.0 - cfg.base_fraction) * 0.5 *
+                (1.0 - std::cos(2.0 * M_PI * x));
+        break;
+      case TraceShape::kConstant:
+        v = 1.0;
+        break;
+    }
+    for (const auto& b : bursts) {
+      if (i >= b.start && i < b.start + b.len) {
+        // Triangular burst envelope.
+        const double mid = static_cast<double>(b.len) / 2.0;
+        const double d =
+            std::abs(static_cast<double>(i - b.start) - mid) / mid;
+        v += b.height * (1.0 - d);
+      }
+    }
+    if (cfg.noise_frac > 0.0) {
+      v *= std::max(0.0, noise_rng.normal(1.0, cfg.noise_frac));
+    }
+    curve.qps[i] = std::max(0.0, v * cfg.peak_qps);
+  }
+  return curve;
+}
+
+DemandCurve scale_to_peak(const DemandCurve& curve, double target_peak_qps) {
+  LOKI_CHECK(target_peak_qps > 0.0);
+  const double peak = curve.peak();
+  LOKI_CHECK_MSG(peak > 0.0, "cannot scale an all-zero curve");
+  DemandCurve out = curve;
+  const double f = target_peak_qps / peak;
+  for (double& q : out.qps) q *= f;
+  return out;
+}
+
+DemandCurve rescale_duration(const DemandCurve& curve, double new_duration_s) {
+  LOKI_CHECK(new_duration_s > 0.0);
+  LOKI_CHECK(!curve.qps.empty());
+  DemandCurve out;
+  out.interval_s = curve.interval_s;
+  const auto n = static_cast<std::size_t>(
+      std::ceil(new_duration_s / out.interval_s));
+  out.qps.resize(n);
+  const double old_duration = curve.duration_s();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t_new = (static_cast<double>(i) + 0.5) * out.interval_s;
+    const double t_old = t_new / new_duration_s * old_duration;
+    out.qps[i] = curve.at(t_old);
+  }
+  return out;
+}
+
+}  // namespace loki::trace

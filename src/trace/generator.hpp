@@ -1,0 +1,66 @@
+// Demand-curve generators (§6.1 datasets).
+//
+// The paper drives load with one day of the Azure Functions trace (traffic
+// pipeline) and the Twitter streaming trace (social pipeline), both used
+// purely as aggregate QPS-vs-time curves and scaled to cluster capacity via
+// shape-preserving transformations. We synthesize curves with the same
+// shape characteristics — Azure: smooth diurnal swing with minute-scale
+// noise; Twitter: diurnal base with heavier bursts — and provide the same
+// shape-preserving scaling the paper applies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace loki::trace {
+
+/// A demand curve: QPS sampled at fixed intervals.
+struct DemandCurve {
+  double interval_s = 1.0;      // spacing between samples
+  std::vector<double> qps;      // demand at each sample point
+
+  double duration_s() const {
+    return interval_s * static_cast<double>(qps.size());
+  }
+  /// Piecewise-linear interpolation of the curve at time t (clamped).
+  double at(double t) const;
+  double peak() const;
+  double mean() const;
+};
+
+enum class TraceShape {
+  kAzureDiurnal,   // smooth day curve: low night, morning ramp, evening peak
+  kTwitterBursty,  // diurnal base + heavy short bursts
+  kRamp,           // linear 0 -> peak (capacity experiments, Fig. 1)
+  kStep,           // low plateau, step to high plateau
+  kSine,           // single sinusoid period
+  kConstant,
+};
+
+struct TraceConfig {
+  TraceShape shape = TraceShape::kAzureDiurnal;
+  double duration_s = 3600.0;
+  double interval_s = 1.0;
+  double peak_qps = 1000.0;   // shape is normalized then scaled to this peak
+  double base_fraction = 0.2; // trough as fraction of peak (diurnal shapes)
+  double noise_frac = 0.03;   // relative per-sample jitter
+  double burst_rate_per_hour = 6.0;  // Twitter shape: expected bursts/hour
+  double burst_magnitude = 0.5;      // burst height as fraction of peak
+  std::uint64_t seed = 42;
+};
+
+/// Generates a demand curve with the requested shape.
+DemandCurve generate_trace(const TraceConfig& config);
+
+/// Shape-preserving scaling (§6.1): scales amplitude so the peak equals
+/// `target_peak_qps` while preserving the normalized curve shape.
+DemandCurve scale_to_peak(const DemandCurve& curve, double target_peak_qps);
+
+/// Shape-preserving time compression/stretch to a new duration (the paper
+/// compresses a day to match experiment budgets; we do the same to keep
+/// simulated-event counts tractable).
+DemandCurve rescale_duration(const DemandCurve& curve, double new_duration_s);
+
+}  // namespace loki::trace

@@ -1,0 +1,59 @@
+#include "trace/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace loki::trace {
+
+void save_curve_csv(const DemandCurve& curve, const std::string& path) {
+  CsvTable t({"t_s", "qps"});
+  for (std::size_t i = 0; i < curve.qps.size(); ++i) {
+    t.add_row({static_cast<double>(i) * curve.interval_s, curve.qps[i]});
+  }
+  t.write(path);
+}
+
+DemandCurve load_curve_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_curve_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line)) {
+    throw std::runtime_error("load_curve_csv: empty file " + path);
+  }
+  DemandCurve curve;
+  std::vector<double> times;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string t_str, q_str;
+    if (!std::getline(row, t_str, ',') || !std::getline(row, q_str, ',')) {
+      throw std::runtime_error("load_curve_csv: malformed row: " + line);
+    }
+    try {
+      times.push_back(std::stod(t_str));
+      curve.qps.push_back(std::stod(q_str));
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_curve_csv: non-numeric row: " + line);
+    }
+  }
+  if (curve.qps.size() < 2) {
+    throw std::runtime_error("load_curve_csv: need at least 2 samples");
+  }
+  curve.interval_s = times[1] - times[0];
+  if (curve.interval_s <= 0.0) {
+    throw std::runtime_error("load_curve_csv: non-increasing timestamps");
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double dt = times[i] - times[i - 1];
+    if (std::abs(dt - curve.interval_s) > 0.01 * curve.interval_s) {
+      throw std::runtime_error("load_curve_csv: non-uniform sampling");
+    }
+  }
+  return curve;
+}
+
+}  // namespace loki::trace

@@ -1,0 +1,21 @@
+// Demand-curve persistence: save/load the (time, qps) CSV format, so
+// externally produced traces (e.g. the real Azure Functions aggregation,
+// exported from its notebooks) can drive the simulator, and generated
+// curves can be inspected or plotted.
+#pragma once
+
+#include <string>
+
+#include "trace/generator.hpp"
+
+namespace loki::trace {
+
+/// Writes "t_s,qps" rows. Throws std::runtime_error on I/O failure.
+void save_curve_csv(const DemandCurve& curve, const std::string& path);
+
+/// Reads a curve saved by save_curve_csv (or any two-column CSV with a
+/// header row). Sample spacing is inferred from the first two rows and must
+/// be uniform within 1%. Throws std::runtime_error on malformed input.
+DemandCurve load_curve_csv(const std::string& path);
+
+}  // namespace loki::trace

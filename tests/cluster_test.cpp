@@ -1,0 +1,226 @@
+// Worker model tests: batching behaviour, queue handling, model-swap costs,
+// drop filters, and reassignment flushing.
+#include <gtest/gtest.h>
+
+#include "cluster/worker.hpp"
+#include "profile/zoo.hpp"
+#include "sim/simulation.hpp"
+
+namespace loki::cluster {
+namespace {
+
+struct Harness {
+  sim::Simulation sim;
+  Worker worker{0, &sim};
+  std::vector<std::vector<WorkItem>> batches;
+  std::vector<Worker::BatchContext> contexts;
+  std::vector<WorkItem> dropped;
+  profile::VariantCatalog catalog = profile::car_classification_catalog();
+
+  Harness() {
+    worker.set_batch_done([this](Worker&, std::vector<WorkItem>&& items,
+                                 const Worker::BatchContext& ctx) {
+      contexts.push_back(ctx);
+      batches.push_back(std::move(items));
+    });
+    worker.set_dropped_sink([this](Worker&, std::vector<WorkItem>&& items) {
+      for (auto& i : items) dropped.push_back(i);
+    });
+  }
+
+  WorkItem item(std::uint64_t id, double deadline = 1e9) {
+    WorkItem w;
+    w.query_id = id;
+    w.task = 0;
+    w.deadline = deadline;
+    w.enqueue_time = sim.now();
+    return w;
+  }
+};
+
+TEST(Worker, ExecutesSingleItem) {
+  Harness h;
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, /*swap_cost=*/false);
+  h.worker.enqueue(h.item(1));
+  h.sim.run_all();
+  ASSERT_EQ(h.batches.size(), 1u);
+  EXPECT_EQ(h.batches[0].size(), 1u);
+  EXPECT_EQ(h.batches[0][0].query_id, 1u);
+  EXPECT_NEAR(h.sim.now(), h.catalog.at(0).latency.latency_s(1), 1e-12);
+}
+
+TEST(Worker, BatchesUpToMaxBatch) {
+  Harness h;
+  h.worker.assign(0, 0, &h.catalog.at(0), 4, false);
+  for (int i = 0; i < 10; ++i) h.worker.enqueue(h.item(i));
+  h.sim.run_all();
+  // First batch starts immediately with 1 item (greedy start), then the
+  // queue accumulated during execution is served in batches of <= 4.
+  ASSERT_GE(h.batches.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& b : h.batches) {
+    EXPECT_LE(b.size(), 4u);
+    total += b.size();
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(h.worker.items_executed(), 10u);
+}
+
+TEST(Worker, BusyTimeAccountsExecution) {
+  Harness h;
+  h.worker.assign(0, 1, &h.catalog.at(1), 2, false);
+  h.worker.enqueue(h.item(1));
+  h.worker.enqueue(h.item(2));
+  h.worker.enqueue(h.item(3));
+  h.sim.run_all();
+  EXPECT_GT(h.worker.busy_time_s(), 0.0);
+  EXPECT_NEAR(h.worker.busy_time_s(), h.sim.now(), 1e-9);
+}
+
+TEST(Worker, SwapCostDelaysService) {
+  Harness h;
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, /*swap_cost=*/true);
+  EXPECT_TRUE(h.worker.loading());
+  h.worker.enqueue(h.item(1));
+  h.sim.run_all();
+  ASSERT_EQ(h.batches.size(), 1u);
+  const double expected =
+      h.catalog.at(0).load_time_s + h.catalog.at(0).latency.latency_s(1);
+  EXPECT_NEAR(h.sim.now(), expected, 1e-9);
+}
+
+TEST(Worker, SameVariantReassignKeepsQueueAndSkipsSwap) {
+  Harness h;
+  h.worker.assign(0, 2, &h.catalog.at(2), 8, false);
+  h.worker.enqueue(h.item(1));
+  h.worker.enqueue(h.item(2));
+  const auto flushed = h.worker.assign(0, 2, &h.catalog.at(2), 4, true);
+  EXPECT_TRUE(flushed.empty());
+  EXPECT_FALSE(h.worker.loading());
+  EXPECT_EQ(h.worker.max_batch(), 4);
+  h.sim.run_all();
+  EXPECT_EQ(h.worker.items_executed(), 2u);
+}
+
+TEST(Worker, VariantChangeFlushesQueue) {
+  Harness h;
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, false);
+  h.worker.enqueue(h.item(1));  // starts immediately (in flight)
+  h.worker.enqueue(h.item(2));  // queued behind the running batch
+  const auto flushed = h.worker.assign(0, 3, &h.catalog.at(3), 8, false);
+  // Item 2 was still queued (worker busy with item 1).
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].query_id, 2u);
+  h.sim.run_all();
+  EXPECT_EQ(h.worker.variant(), 3);
+}
+
+TEST(Worker, DeactivateFlushesAndRejectsEnqueue) {
+  Harness h;
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, false);
+  h.worker.enqueue(h.item(1));
+  h.worker.enqueue(h.item(2));
+  // Worker is busy with item 1; deactivate flushes the remaining queue.
+  const auto flushed = h.worker.deactivate();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_FALSE(h.worker.active());
+  EXPECT_THROW(h.worker.enqueue(h.item(3)), loki::CheckFailure);
+  h.sim.run_all();  // in-flight batch still completes
+  EXPECT_EQ(h.batches.size(), 1u);
+}
+
+TEST(Worker, DropFilterRemovesBeforeExecution) {
+  Harness h;
+  h.worker.set_drop_filter([](const Worker&, const WorkItem& item) {
+    return item.deadline < 0.5;  // drop "hopeless" items
+  });
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, false);
+  h.worker.enqueue(h.item(1, /*deadline=*/0.1));
+  h.worker.enqueue(h.item(2, /*deadline=*/9.0));
+  h.sim.run_all();
+  ASSERT_EQ(h.dropped.size(), 1u);
+  EXPECT_EQ(h.dropped[0].query_id, 1u);
+  ASSERT_EQ(h.batches.size(), 1u);
+  EXPECT_EQ(h.batches[0][0].query_id, 2u);
+}
+
+TEST(Worker, AllDroppedBatchContinuesQueue) {
+  Harness h;
+  h.worker.set_drop_filter([](const Worker&, const WorkItem& item) {
+    return item.query_id < 3;
+  });
+  h.worker.assign(0, 0, &h.catalog.at(0), 2, false);
+  for (std::uint64_t i = 1; i <= 4; ++i) h.worker.enqueue(h.item(i));
+  h.sim.run_all();
+  EXPECT_EQ(h.dropped.size(), 2u);
+  EXPECT_EQ(h.worker.items_executed(), 2u);
+}
+
+TEST(Worker, JitterAppliedToExecution) {
+  Harness h;
+  h.worker.set_jitter([](double nominal) { return nominal * 2.0; });
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, false);
+  h.worker.enqueue(h.item(1));
+  h.sim.run_all();
+  EXPECT_NEAR(h.sim.now(), 2.0 * h.catalog.at(0).latency.latency_s(1), 1e-12);
+}
+
+TEST(Worker, LoadMetricCountsQueueAndInflight) {
+  Harness h;
+  h.worker.assign(0, 0, &h.catalog.at(0), 1, false);
+  h.worker.enqueue(h.item(1));  // starts immediately -> inflight
+  h.worker.enqueue(h.item(2));  // queued
+  EXPECT_EQ(h.worker.load(), 2u);
+  EXPECT_EQ(h.worker.queue_length(), 1u);
+}
+
+TEST(Worker, BatchWaitAccumulatesItems) {
+  Harness h;
+  h.worker.set_batch_wait(0.050);
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, false);
+  h.worker.enqueue(h.item(1));
+  // Second item arrives within the wait window.
+  h.sim.schedule_at(0.010, [&]() { h.worker.enqueue(h.item(2)); });
+  h.sim.run_all();
+  ASSERT_EQ(h.batches.size(), 1u);
+  EXPECT_EQ(h.batches[0].size(), 2u);  // both served in one batch
+}
+
+TEST(Worker, BatchWaitStartsEarlyWhenFull) {
+  Harness h;
+  h.worker.set_batch_wait(10.0);  // absurdly long: must not matter
+  h.worker.assign(0, 0, &h.catalog.at(0), 2, false);
+  h.worker.enqueue(h.item(1));
+  h.worker.enqueue(h.item(2));  // batch full -> starts immediately
+  h.sim.run_all();
+  ASSERT_EQ(h.batches.size(), 1u);
+  EXPECT_EQ(h.batches[0].size(), 2u);
+  EXPECT_LT(h.sim.now(), 1.0);  // did not wait the 10 s
+}
+
+TEST(Worker, BatchWaitTimerFiresForPartialBatch) {
+  Harness h;
+  h.worker.set_batch_wait(0.030);
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, false);
+  h.worker.enqueue(h.item(1));
+  h.sim.run_all();
+  ASSERT_EQ(h.batches.size(), 1u);
+  EXPECT_EQ(h.batches[0].size(), 1u);
+  // Started only after the wait elapsed.
+  EXPECT_NEAR(h.sim.now(), 0.030 + h.catalog.at(0).latency.latency_s(1),
+              1e-9);
+}
+
+TEST(Worker, BatchWaitCancelledOnDeactivate) {
+  Harness h;
+  h.worker.set_batch_wait(0.050);
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, false);
+  h.worker.enqueue(h.item(1));
+  const auto flushed = h.worker.deactivate();
+  EXPECT_EQ(flushed.size(), 1u);
+  h.sim.run_all();  // pending wait timer must not fire a batch
+  EXPECT_TRUE(h.batches.empty());
+}
+
+}  // namespace
+}  // namespace loki::cluster

@@ -1,0 +1,169 @@
+// Load Balancer tests: MostAccurateFirst (Algorithm 1) saturation order,
+// probability normalization, multiplicative-factor handling, and backup
+// tables for opportunistic rerouting.
+#include <gtest/gtest.h>
+
+#include "pipeline/pipelines.hpp"
+#include "profile/profiler.hpp"
+#include "serving/load_balancer.hpp"
+
+namespace loki::serving {
+namespace {
+
+struct Fixture {
+  pipeline::PipelineGraph graph = pipeline::traffic_analysis_two_task_pipeline();
+  ProfileTable profiles;
+  pipeline::MultFactorTable mult;
+  LoadBalancer lb;
+
+  Fixture()
+      : profiles(build_profile_table(graph, profile::ModelProfiler())),
+        mult(pipeline::default_mult_factors(graph)),
+        lb(&graph, &profiles, /*utilization_target=*/1.0) {}
+
+  /// Builds a plan hosting the given groups.
+  AllocationPlan plan(std::vector<InstanceConfig> instances) {
+    AllocationPlan p;
+    p.instances = std::move(instances);
+    p.servers_used = p.total_replicas();
+    p.feasible = true;
+    return p;
+  }
+
+  double group_capacity(const AllocationPlan& p, int gi) {
+    const auto& ic = p.instances[static_cast<std::size_t>(gi)];
+    return ic.replicas *
+           profiles[static_cast<std::size_t>(ic.task)]
+                   [static_cast<std::size_t>(ic.variant)]
+                       .throughput_for(ic.batch);
+  }
+};
+
+TEST(MostAccurateFirst, SingleGroupGetsAllTraffic) {
+  Fixture f;
+  // yolov5x (variant 4) + efficientnet-b7 (variant 10).
+  auto p = f.plan({{0, 4, 8, 4}, {1, 10, 8, 16}});
+  const auto r = f.lb.most_accurate_first(p, 50.0, f.mult);
+  ASSERT_EQ(r.frontend.size(), 1u);
+  EXPECT_EQ(r.frontend[0].group, 0);
+  EXPECT_NEAR(r.frontend[0].probability, 1.0, 1e-9);
+  // Worker table for the detection group routes to the classification group.
+  const auto& table = r.group_routes[0].at(1);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].group, 1);
+  EXPECT_NEAR(table[0].probability, 1.0, 1e-9);
+}
+
+TEST(MostAccurateFirst, SaturatesMostAccurateGroupFirst) {
+  Fixture f;
+  // Two detection groups: yolov5x (acc 1.0) with small capacity and
+  // yolov5n (acc 0.56) with large capacity; one classification group.
+  auto p = f.plan({{0, 4, 8, 1}, {0, 0, 8, 6}, {1, 0, 8, 13}});
+  const double cap_x = f.group_capacity(p, 0);
+  const double demand = cap_x * 2.0;  // x can hold half the demand
+  const auto r = f.lb.most_accurate_first(p, demand, f.mult);
+  ASSERT_EQ(r.frontend.size(), 2u);
+  EXPECT_EQ(r.frontend[0].group, 0);  // accuracy-first
+  EXPECT_NEAR(r.frontend[0].probability, 0.5, 1e-6);
+  EXPECT_EQ(r.frontend[1].group, 1);
+  EXPECT_NEAR(r.frontend[1].probability, 0.5, 1e-6);
+}
+
+TEST(MostAccurateFirst, ProbabilitiesNeverExceedOne) {
+  Fixture f;
+  auto p = f.plan({{0, 4, 8, 2}, {1, 10, 8, 8}});
+  // Demand far beyond capacity: the frontend places what fits, sheds rest.
+  const auto r = f.lb.most_accurate_first(p, 10000.0, f.mult);
+  double sum = 0.0;
+  for (const auto& e : r.frontend) sum += e.probability;
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_LT(sum, 0.5);  // most demand is unplaceable here
+}
+
+TEST(MostAccurateFirst, IntermediateDemandUsesMultFactor) {
+  Fixture f;
+  auto p = f.plan({{0, 4, 8, 2}, {1, 10, 8, 10}});
+  const auto r = f.lb.most_accurate_first(p, 60.0, f.mult);
+  // Incoming at classification = 60 * r(yolov5x) * branch(2/3) = 60*2.1*2/3.
+  EXPECT_NEAR(r.group_incoming_qps[1], 60.0 * 2.10 * (2.0 / 3.0), 1e-6);
+}
+
+TEST(MostAccurateFirst, BackupTablesListLeftoverAccuracyOrdered) {
+  Fixture f;
+  // Plenty of classification capacity in two variants.
+  auto p = f.plan({{0, 4, 8, 1}, {1, 10, 8, 6}, {1, 0, 8, 6}});
+  const auto r = f.lb.most_accurate_first(p, 20.0, f.mult);
+  const auto& backup = r.backup_per_task[1];
+  ASSERT_GE(backup.size(), 1u);
+  // Ordered by accuracy descending.
+  for (std::size_t i = 1; i < backup.size(); ++i) {
+    const auto& prev = p.instances[static_cast<std::size_t>(backup[i - 1].group)];
+    const auto& cur = p.instances[static_cast<std::size_t>(backup[i].group)];
+    EXPECT_GE(f.graph.task(1).catalog.at(prev.variant).accuracy,
+              f.graph.task(1).catalog.at(cur.variant).accuracy);
+  }
+  for (const auto& be : backup) {
+    EXPECT_GT(be.leftover_qps, 0.0);
+    EXPECT_GT(be.exec_s, 0.0);
+  }
+}
+
+TEST(MostAccurateFirst, FullySaturatedLeavesNoBackup) {
+  Fixture f;
+  auto p = f.plan({{0, 4, 8, 1}, {1, 10, 8, 1}});
+  const double cap0 = f.group_capacity(p, 0);
+  // Saturate both groups.
+  const auto r = f.lb.most_accurate_first(p, cap0 * 10.0, f.mult);
+  EXPECT_TRUE(r.backup_per_task[0].empty());
+  EXPECT_TRUE(r.backup_per_task[1].empty());
+}
+
+TEST(MostAccurateFirst, ZeroDemandStillRoutable) {
+  Fixture f;
+  auto p = f.plan({{0, 4, 8, 1}, {1, 10, 8, 1}});
+  const auto r = f.lb.most_accurate_first(p, 0.0, f.mult);
+  ASSERT_EQ(r.frontend.size(), 1u);
+  EXPECT_NEAR(r.frontend[0].probability, 1.0, 1e-9);
+  // Child routes exist even with ~0 planned demand.
+  ASSERT_TRUE(r.group_routes[0].count(1));
+  EXPECT_FALSE(r.group_routes[0].at(1).empty());
+}
+
+TEST(MostAccurateFirst, UtilizationTargetDeratesCapacity) {
+  Fixture f;
+  LoadBalancer derated(&f.graph, &f.profiles, 0.5);
+  auto p = f.plan({{0, 4, 8, 1}, {1, 10, 8, 4}});
+  const double cap_full = f.group_capacity(p, 0);
+  // At demand equal to the full capacity, the derated LB can only place
+  // half at the detection group.
+  const auto r = derated.most_accurate_first(p, cap_full, f.mult);
+  double sum = 0.0;
+  for (const auto& e : r.frontend) sum += e.probability;
+  EXPECT_NEAR(sum, 0.5, 1e-6);
+}
+
+TEST(MostAccurateFirst, ExecTimesExposedPerGroup) {
+  Fixture f;
+  auto p = f.plan({{0, 4, 4, 1}, {1, 10, 2, 4}});
+  const auto r = f.lb.most_accurate_first(p, 10.0, f.mult);
+  EXPECT_NEAR(r.group_exec_s[0], f.profiles[0][4].latency_for(4), 1e-12);
+  EXPECT_NEAR(r.group_exec_s[1], f.profiles[1][10].latency_for(2), 1e-12);
+}
+
+TEST(MostAccurateFirst, TreePipelineRoutesBothChildren) {
+  pipeline::PipelineGraph g = pipeline::traffic_analysis_pipeline();
+  ProfileTable profiles = build_profile_table(g, profile::ModelProfiler());
+  auto mult = pipeline::default_mult_factors(g);
+  LoadBalancer lb(&g, &profiles, 1.0);
+  AllocationPlan p;
+  p.instances = {{0, 4, 8, 3}, {1, 10, 8, 10}, {2, 3, 8, 5}};
+  p.feasible = true;
+  const auto r = lb.most_accurate_first(p, 100.0, mult);
+  ASSERT_TRUE(r.group_routes[0].count(1));
+  ASSERT_TRUE(r.group_routes[0].count(2));
+  EXPECT_NEAR(r.group_incoming_qps[1], 100.0 * 2.10 * (2.0 / 3.0), 1e-6);
+  EXPECT_NEAR(r.group_incoming_qps[2], 100.0 * 2.10 * (1.0 / 3.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace loki::serving

@@ -1,0 +1,103 @@
+// Metadata Store tests: registration, bounded histories, plan-transition
+// counting, and live recording when attached to a running system.
+#include <gtest/gtest.h>
+
+#include "pipeline/pipelines.hpp"
+#include "profile/profiler.hpp"
+#include "serving/metadata_store.hpp"
+#include "serving/system.hpp"
+#include "trace/arrivals.hpp"
+
+namespace loki::serving {
+namespace {
+
+struct Fixture {
+  pipeline::PipelineGraph graph = pipeline::traffic_analysis_two_task_pipeline();
+  ProfileTable profiles =
+      build_profile_table(graph, profile::ModelProfiler());
+};
+
+TEST(MetadataStore, RegistrationExposesPipelineState) {
+  Fixture f;
+  MetadataStore store;
+  EXPECT_FALSE(store.registered());
+  store.register_pipeline(&f.graph, f.profiles, 0.250);
+  EXPECT_TRUE(store.registered());
+  EXPECT_EQ(store.graph(), &f.graph);
+  EXPECT_DOUBLE_EQ(store.slo_s(), 0.250);
+  EXPECT_EQ(store.mult_factors().size(), 2u);  // defaults installed
+}
+
+TEST(MetadataStore, DemandHistoryBoundedAndAveraged) {
+  MetadataStore store;
+  store.set_history_limit(5);
+  for (int i = 0; i < 10; ++i) {
+    store.record_demand(static_cast<double>(i), 100.0 + i);
+  }
+  EXPECT_EQ(store.demand_history().size(), 5u);
+  EXPECT_DOUBLE_EQ(store.demand_history().front().estimate_qps, 105.0);
+  // Mean of the last 2: (108 + 109) / 2.
+  EXPECT_DOUBLE_EQ(store.recent_demand_mean(2), 108.5);
+  EXPECT_DOUBLE_EQ(store.recent_demand_mean(100), 107.0);
+  EXPECT_DOUBLE_EQ(MetadataStore().recent_demand_mean(3), 0.0);
+}
+
+TEST(MetadataStore, PlanHistoryAndVariantChanges) {
+  MetadataStore store;
+  AllocationPlan a;
+  a.instances = {{0, 4, 8, 2}, {1, 10, 8, 5}};
+  AllocationPlan b = a;  // identical variant set
+  AllocationPlan c;
+  c.instances = {{0, 4, 8, 2}, {1, 7, 8, 5}};  // task-1 variant changed
+  store.record_plan(0.0, a);
+  store.record_plan(10.0, b);
+  store.record_plan(20.0, c);
+  EXPECT_EQ(store.plan_history().size(), 3u);
+  EXPECT_EQ(store.variant_change_count(), 1);
+  ASSERT_NE(store.current_plan(), nullptr);
+  EXPECT_EQ(store.current_plan()->instances[1].variant, 7);
+}
+
+TEST(MetadataStore, RecordsFromRunningSystem) {
+  Fixture f;
+  sim::Simulation sim;
+  SystemConfig cfg;
+  cfg.allocator.cluster_size = 20;
+  MilpAllocator strategy(cfg.allocator, &f.graph, f.profiles);
+  ServingSystem system(&sim, &f.graph, f.profiles, &strategy, cfg);
+  MetadataStore store;
+  system.attach_metadata_store(&store);
+  EXPECT_TRUE(store.registered());
+  system.start();
+
+  trace::DemandCurve curve;
+  curve.interval_s = 1.0;
+  curve.qps.assign(35, 250.0);
+  trace::ArrivalConfig acfg;
+  trace::ArrivalStream stream(curve, acfg);
+  std::function<void()> pump = [&]() {
+    system.submit();
+    const double next = stream.next();
+    if (next >= 0.0) sim.schedule_at(next, pump);
+  };
+  sim.schedule_at(stream.next(), pump);
+  sim.run_until(40.0);
+  system.finish(40.0);
+
+  // The controller allocated at least twice (initial + demand surge) and
+  // every allocation was recorded with its demand estimate.
+  EXPECT_GE(store.plan_history().size(), 2u);
+  EXPECT_EQ(store.plan_history().size(), store.demand_history().size());
+  EXPECT_NE(store.current_plan(), nullptr);
+  EXPECT_GT(store.current_plan()->servers_used, 1);
+  // Some allocation during the run saw the offered 250 QPS (the last
+  // record is the post-trace scale-down, so check the peak).
+  double peak = 0.0;
+  for (const auto& d : store.demand_history()) {
+    peak = std::max(peak, d.estimate_qps);
+  }
+  EXPECT_NEAR(peak, 275.0, 60.0);
+}
+
+}  // namespace
+}  // namespace loki::serving

@@ -1,0 +1,53 @@
+// Plan / routing rendering tests.
+#include <gtest/gtest.h>
+
+#include "pipeline/pipelines.hpp"
+#include "profile/profiler.hpp"
+#include "serving/plan_io.hpp"
+
+namespace loki::serving {
+namespace {
+
+struct Fixture {
+  pipeline::PipelineGraph graph = pipeline::traffic_analysis_two_task_pipeline();
+  ProfileTable profiles;
+  pipeline::MultFactorTable mult;
+  AllocationPlan plan;
+
+  Fixture() {
+    profiles = build_profile_table(graph, profile::ModelProfiler());
+    mult = pipeline::default_mult_factors(graph);
+    AllocatorConfig cfg;
+    MilpAllocator alloc(cfg, &graph, profiles);
+    plan = alloc.allocate(300.0, mult);
+  }
+};
+
+TEST(PlanIo, PlanToStringMentionsVariantsAndMode) {
+  Fixture f;
+  const auto s = plan_to_string(f.graph, f.plan);
+  EXPECT_NE(s.find("hardware"), std::string::npos);
+  EXPECT_NE(s.find("yolov5x"), std::string::npos);
+  EXPECT_NE(s.find("path->"), std::string::npos);
+  EXPECT_NE(s.find("budget"), std::string::npos);
+}
+
+TEST(PlanIo, PlanToCsvRowPerGroup) {
+  Fixture f;
+  const auto csv = plan_to_csv(f.graph, f.plan);
+  EXPECT_EQ(csv.rows(), f.plan.instances.size());
+  const auto s = csv.to_string();
+  EXPECT_NE(s.find("task,variant,replicas,batch"), std::string::npos);
+}
+
+TEST(PlanIo, RoutingToStringShowsFrontendAndBackups) {
+  Fixture f;
+  LoadBalancer lb(&f.graph, &f.profiles, 0.85);
+  const auto routing = lb.most_accurate_first(f.plan, 300.0, f.mult);
+  const auto s = routing_to_string(f.graph, f.plan, routing);
+  EXPECT_NE(s.find("frontend:"), std::string::npos);
+  EXPECT_NE(s.find("object-detection"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace loki::serving

@@ -1,0 +1,176 @@
+// Model zoo and profiler tests: latency-model shape, catalog invariants,
+// the 32-variant zoo of §6.1, and profiled table consistency.
+#include <gtest/gtest.h>
+
+#include "profile/profiler.hpp"
+#include "profile/variant.hpp"
+#include "profile/zoo.hpp"
+
+namespace loki::profile {
+namespace {
+
+TEST(LatencyModel, AffineShape) {
+  LatencyModel m{0.010, 0.002};
+  EXPECT_DOUBLE_EQ(m.latency_s(1), 0.012);
+  EXPECT_DOUBLE_EQ(m.latency_s(8), 0.026);
+  EXPECT_NEAR(m.throughput_qps(8), 8.0 / 0.026, 1e-12);
+}
+
+TEST(LatencyModel, ThroughputMonotoneInBatch) {
+  LatencyModel m{0.020, 0.001};
+  double prev = 0.0;
+  for (int b = 1; b <= 64; b *= 2) {
+    const double q = m.throughput_qps(b);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+  // Saturates below the asymptote 1/per_item.
+  EXPECT_LT(prev, 1.0 / m.per_item_s);
+}
+
+TEST(LatencyModel, FromDesignPointRoundTrips) {
+  const auto m = LatencyModel::from_design_point(100.0, 4, 1.6);
+  EXPECT_NEAR(m.throughput_qps(4), 100.0, 1e-9);
+  // Asymptotic throughput is the design factor above the reference.
+  EXPECT_NEAR(1.0 / m.per_item_s, 160.0, 1e-9);
+  EXPECT_GT(m.base_s, 0.0);
+}
+
+TEST(VariantCatalog, MostAccurateAndFind) {
+  VariantCatalog c("task");
+  ModelVariant a;
+  a.name = "small";
+  a.accuracy = 0.8;
+  a.latency = {0.01, 0.001};
+  c.add(a);
+  ModelVariant b = a;
+  b.name = "big";
+  b.accuracy = 0.95;
+  c.add(b);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.most_accurate(), 1);
+  EXPECT_EQ(c.find("small").value(), 0);
+  EXPECT_FALSE(c.find("missing").has_value());
+}
+
+TEST(VariantCatalog, RejectsDuplicatesAndBadAccuracy) {
+  VariantCatalog c("task");
+  ModelVariant a;
+  a.name = "v";
+  a.accuracy = 0.9;
+  a.latency = {0.01, 0.001};
+  c.add(a);
+  EXPECT_THROW(c.add(a), CheckFailure);
+  ModelVariant bad = a;
+  bad.name = "w";
+  bad.accuracy = 1.5;
+  EXPECT_THROW(c.add(bad), CheckFailure);
+}
+
+TEST(Zoo, ThirtyTwoVariantsTotal) {
+  // The paper evaluates 32 model variants across the two pipelines (§6.1).
+  EXPECT_EQ(builtin_variant_count(), 32);
+}
+
+TEST(Zoo, EachFamilyNormalizedToOne) {
+  for (const auto& cat :
+       {yolo_detection_catalog(), car_classification_catalog(),
+        face_recognition_catalog(), image_classification_catalog(),
+        captioning_catalog()}) {
+    const auto& best = cat.at(cat.most_accurate());
+    EXPECT_DOUBLE_EQ(best.accuracy, 1.0) << cat.task_kind();
+    for (const auto& v : cat.variants()) {
+      EXPECT_GT(v.accuracy, 0.0);
+      EXPECT_LE(v.accuracy, 1.0);
+    }
+  }
+}
+
+TEST(Zoo, AccuracyThroughputTradeoffHolds) {
+  // Within each catalog, higher accuracy must cost throughput (the Fig. 3
+  // trade-off that accuracy scaling exploits). Catalogs are ordered by
+  // construction from cheap to accurate.
+  for (const auto& cat :
+       {yolo_detection_catalog(), car_classification_catalog(),
+        face_recognition_catalog(), image_classification_catalog(),
+        captioning_catalog()}) {
+    for (int i = 1; i < cat.size(); ++i) {
+      EXPECT_GT(cat.at(i).accuracy, cat.at(i - 1).accuracy)
+          << cat.task_kind() << " idx " << i;
+      EXPECT_LT(cat.at(i).latency.throughput_qps(4),
+                cat.at(i - 1).latency.throughput_qps(4))
+          << cat.task_kind() << " idx " << i;
+    }
+  }
+}
+
+TEST(Zoo, DetectionMultFactorGrowsWithAccuracy) {
+  // More accurate detectors find more objects (§4.2 workload
+  // multiplication).
+  const auto cat = yolo_detection_catalog();
+  for (int i = 1; i < cat.size(); ++i) {
+    EXPECT_GT(cat.at(i).mult_factor_mean, cat.at(i - 1).mult_factor_mean);
+  }
+}
+
+TEST(Profiler, IdealProfilerMatchesModel) {
+  ModelProfiler profiler({1, 2, 4, 8}, 3, 0.0, 1);
+  const auto cat = yolo_detection_catalog();
+  const auto prof = profiler.profile(cat.at(0));
+  ASSERT_EQ(prof.size(), 4);
+  for (int i = 0; i < prof.size(); ++i) {
+    EXPECT_NEAR(prof.latency_s[static_cast<std::size_t>(i)],
+                cat.at(0).latency.latency_s(prof.batches[static_cast<std::size_t>(i)]),
+                1e-12);
+  }
+}
+
+TEST(Profiler, NoisyProfilerStaysClose) {
+  ModelProfiler profiler({1, 4, 16}, 9, 0.05, 7);
+  const auto cat = captioning_catalog();
+  const auto prof = profiler.profile(cat.at(1));
+  for (int i = 0; i < prof.size(); ++i) {
+    const double truth =
+        cat.at(1).latency.latency_s(prof.batches[static_cast<std::size_t>(i)]);
+    EXPECT_NEAR(prof.latency_s[static_cast<std::size_t>(i)], truth,
+                truth * 0.15);
+  }
+}
+
+TEST(BatchProfile, LookupHelpers) {
+  ModelProfiler profiler({1, 2, 4, 8, 16, 32}, 1, 0.0, 1);
+  const auto prof = profiler.profile(car_classification_catalog().at(0));
+  EXPECT_EQ(prof.index_of(8), 3);
+  EXPECT_EQ(prof.index_of(3), -1);
+  EXPECT_GT(prof.throughput_for(16), prof.throughput_for(1));
+
+  // max_batch_within: the largest batch whose latency fits.
+  const double mid_budget = prof.latency_for(8);
+  EXPECT_EQ(prof.max_batch_within(mid_budget), 8);
+  EXPECT_EQ(prof.max_batch_within(prof.latency_for(1) * 0.5), -1);
+  // best_batch_within equals max batch for monotone-throughput profiles.
+  EXPECT_EQ(prof.best_batch_within(mid_budget), 8);
+  EXPECT_EQ(prof.best_batch_within(1e9), 32);
+}
+
+TEST(Profiler, CatalogProfileCoversAllVariants) {
+  ModelProfiler profiler;
+  const auto cat = image_classification_catalog();
+  const auto profs = profiler.profile_catalog(cat);
+  EXPECT_EQ(static_cast<int>(profs.size()), cat.size());
+}
+
+TEST(Zoo, LoadTimesAndMemoryPositive) {
+  for (const auto& cat :
+       {yolo_detection_catalog(), car_classification_catalog(),
+        face_recognition_catalog(), image_classification_catalog(),
+        captioning_catalog()}) {
+    for (const auto& v : cat.variants()) {
+      EXPECT_GT(v.load_time_s, 0.0) << v.name;
+      EXPECT_GT(v.memory_mb, 0.0) << v.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace loki::profile

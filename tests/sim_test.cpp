@@ -1,0 +1,139 @@
+// Discrete-event simulation core tests: ordering, ties, cancellation,
+// run_until semantics, and determinism.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace loki::sim {
+namespace {
+
+TEST(Simulation, ProcessesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&]() { order.push_back(3); });
+  sim.schedule_at(1.0, [&]() { order.push_back(1); });
+  sim.schedule_at(2.0, [&]() { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.processed(), 3u);
+}
+
+TEST(Simulation, TiesBreakInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i]() { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, NowAdvancesToEventTime) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(7.5, [&]() { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&]() {
+    sim.schedule_after(1.5, [&]() { seen = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 3.5);
+}
+
+TEST(Simulation, RunUntilStopsAndSetsNow) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&]() { ++fired; });
+  sim.schedule_at(5.0, [&]() { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  auto id = sim.schedule_at(1.0, [&]() { ++fired; });
+  sim.schedule_at(2.0, [&]() { ++fired; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+  Simulation sim;
+  int fired = 0;
+  auto id = sim.schedule_at(1.0, [&]() { ++fired; });
+  sim.run_all();
+  EXPECT_NO_THROW(sim.cancel(id));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CancelInvalidIdIsNoop) {
+  Simulation sim;
+  EXPECT_NO_THROW(sim.cancel(Simulation::EventId{}));
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_at(5.0, []() {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(1.0, []() {}), loki::CheckFailure);
+}
+
+TEST(Simulation, EventsCanScheduleEarlierThanPending) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(10.0, [&]() { order.push_back(10); });
+  sim.schedule_at(1.0, [&]() {
+    order.push_back(1);
+    sim.schedule_at(2.0, [&]() { order.push_back(2); });
+  });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 10}));
+}
+
+TEST(Simulation, PendingCount) {
+  Simulation sim;
+  auto a = sim.schedule_at(1.0, []() {});
+  sim.schedule_at(2.0, []() {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(0.0, []() {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, HeavySelfSchedulingIsStable) {
+  // A self-rescheduling periodic event plus churn: counts must be exact.
+  Simulation sim;
+  int ticks = 0;
+  std::function<void()> tick = [&]() {
+    ++ticks;
+    if (ticks < 1000) sim.schedule_after(0.001, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run_all();
+  EXPECT_EQ(ticks, 1000);
+  EXPECT_NEAR(sim.now(), 0.999, 1e-9);
+}
+
+}  // namespace
+}  // namespace loki::sim

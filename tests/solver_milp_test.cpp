@@ -1,0 +1,196 @@
+// Branch-and-bound MILP tests: knapsacks vs brute force, integrality,
+// warm starts, limits, and random small integer programs checked against
+// exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "solver/milp.hpp"
+
+namespace loki::solver {
+namespace {
+
+MilpSolution solve(const LpProblem& p) { return BranchAndBound().solve(p); }
+
+TEST(Milp, SolvesLpWhenNoIntegers) {
+  LpProblem p(Sense::kMaximize);
+  const int x = p.add_variable("x", 0, 3.5, 1.0);
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.5, 1e-7);
+}
+
+TEST(Milp, IntegerRoundsDownWhenForced) {
+  // max x, x integer, x <= 3.7 -> 3.
+  LpProblem p(Sense::kMaximize);
+  const int x = p.add_variable("x", 0, kInf, 1.0, VarType::kInteger);
+  p.add_constraint({{{x, 1}}, Relation::kLe, 3.7, ""});
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+}
+
+TEST(Milp, ClassicKnapsack) {
+  // Items (value, weight): (60,10) (100,20) (120,30), capacity 50 -> 220.
+  LpProblem p(Sense::kMaximize);
+  const int a = p.add_variable("a", 0, 1, 60.0, VarType::kBinary);
+  const int b = p.add_variable("b", 0, 1, 100.0, VarType::kBinary);
+  const int c = p.add_variable("c", 0, 1, 120.0, VarType::kBinary);
+  p.add_constraint({{{a, 10}, {b, 20}, {c, 30}}, Relation::kLe, 50.0, ""});
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 220.0, 1e-6);
+  EXPECT_NEAR(s.values[a], 0.0, 1e-6);
+  EXPECT_NEAR(s.values[b], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[c], 1.0, 1e-6);
+}
+
+TEST(Milp, MixedIntegerContinuous) {
+  // max 2n + c  s.t. n + c <= 4.3, c <= 1.5, n integer -> n=4, c=0.3: 8.3.
+  LpProblem p(Sense::kMaximize);
+  const int n = p.add_variable("n", 0, kInf, 2.0, VarType::kInteger);
+  const int c = p.add_variable("c", 0, 1.5, 1.0);
+  p.add_constraint({{{n, 1}, {c, 1}}, Relation::kLe, 4.3, ""});
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.values[n], 4.0, 1e-6);
+  EXPECT_NEAR(s.values[c], 0.3, 1e-6);
+}
+
+TEST(Milp, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6, x integer: no integer point.
+  LpProblem p(Sense::kMaximize);
+  const int x = p.add_variable("x", 0, 1, 1.0, VarType::kInteger);
+  p.add_constraint({{{x, 1}}, Relation::kGe, 0.4, ""});
+  p.add_constraint({{{x, 1}}, Relation::kLe, 0.6, ""});
+  EXPECT_EQ(solve(p).status, MilpStatus::kInfeasible);
+}
+
+TEST(Milp, MinimizationWithCover) {
+  // min n1 + n2 s.t. 3 n1 + 5 n2 >= 14, integer: candidates (5,0):5,
+  // (3,1):4, (0,3):3 -> n2=3.
+  LpProblem p(Sense::kMinimize);
+  const int n1 = p.add_variable("n1", 0, kInf, 1.0, VarType::kInteger);
+  const int n2 = p.add_variable("n2", 0, kInf, 1.0, VarType::kInteger);
+  p.add_constraint({{{n1, 3}, {n2, 5}}, Relation::kGe, 14.0, ""});
+  const auto s = solve(p);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+}
+
+TEST(Milp, WarmStartAccepted) {
+  LpProblem p(Sense::kMaximize);
+  const int a = p.add_variable("a", 0, 1, 5.0, VarType::kBinary);
+  const int b = p.add_variable("b", 0, 1, 4.0, VarType::kBinary);
+  p.add_constraint({{{a, 3}, {b, 2}}, Relation::kLe, 4.0, ""});
+  std::vector<double> warm{0.0, 1.0};  // feasible, objective 4
+  const auto s = BranchAndBound().solve(p, warm);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);  // still finds the better a=1
+  (void)a;
+  (void)b;
+}
+
+TEST(Milp, BogusWarmStartIgnored) {
+  LpProblem p(Sense::kMaximize);
+  const int a = p.add_variable("a", 0, 1, 1.0, VarType::kBinary);
+  p.add_constraint({{{a, 1}}, Relation::kLe, 1.0, ""});
+  std::vector<double> warm{5.0};  // violates bounds
+  const auto s = BranchAndBound().solve(p, warm);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(Milp, NodeLimitReturnsIncumbent) {
+  // A 12-item knapsack with a 1-node budget: must still return the warm
+  // start (or root heuristic) as kFeasible/kOptimal, never crash.
+  Rng rng(5);
+  LpProblem p(Sense::kMaximize);
+  Constraint cap;
+  std::vector<double> warm;
+  for (int i = 0; i < 12; ++i) {
+    const double value = rng.uniform(1.0, 10.0);
+    const double weight = rng.uniform(1.0, 10.0);
+    const int v = p.add_variable("x" + std::to_string(i), 0, 1, value,
+                                 VarType::kBinary);
+    cap.terms.push_back({v, weight});
+    warm.push_back(0.0);
+  }
+  cap.rel = Relation::kLe;
+  cap.rhs = 20.0;
+  p.add_constraint(std::move(cap));
+  MilpOptions opts;
+  opts.max_nodes = 1;
+  const auto s = BranchAndBound(opts).solve(p, warm);
+  EXPECT_TRUE(s.status == MilpStatus::kOptimal ||
+              s.status == MilpStatus::kFeasible);
+  EXPECT_GE(s.objective, -1e-9);  // at least the all-zero warm start
+}
+
+TEST(Milp, UnboundedDetected) {
+  LpProblem p(Sense::kMaximize);
+  p.add_variable("x", 0, kInf, 1.0, VarType::kInteger);
+  const auto s = solve(p);
+  EXPECT_EQ(s.status, MilpStatus::kUnbounded);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random small integer programs vs exhaustive enumeration.
+// ---------------------------------------------------------------------------
+
+class MilpRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpRandom, MatchesExhaustiveEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const int nvars = 2 + static_cast<int>(rng.uniform_index(2));  // 2..3
+  const int ub = 4;
+  LpProblem p(rng.bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize);
+  for (int j = 0; j < nvars; ++j) {
+    p.add_variable("x" + std::to_string(j), 0, ub, rng.uniform(-5.0, 5.0),
+                   VarType::kInteger);
+  }
+  const int rows = 1 + static_cast<int>(rng.uniform_index(3));
+  for (int c = 0; c < rows; ++c) {
+    Constraint con;
+    for (int j = 0; j < nvars; ++j) {
+      con.terms.push_back({j, rng.uniform(-3.0, 3.0)});
+    }
+    con.rel = rng.bernoulli(0.7) ? Relation::kLe : Relation::kGe;
+    con.rhs = rng.uniform(-5.0, 12.0);
+    p.add_constraint(std::move(con));
+  }
+
+  // Exhaustive reference over the integer box.
+  bool any = false;
+  double ref = 0.0;
+  std::vector<double> x(static_cast<std::size_t>(nvars), 0.0);
+  const int total = static_cast<int>(std::pow(ub + 1, nvars));
+  for (int code = 0; code < total; ++code) {
+    int rem = code;
+    for (int j = 0; j < nvars; ++j) {
+      x[static_cast<std::size_t>(j)] = rem % (ub + 1);
+      rem /= (ub + 1);
+    }
+    if (!p.is_feasible(x, 1e-9)) continue;
+    const double v = p.objective_value(x);
+    const bool better = p.sense() == Sense::kMaximize ? v > ref : v < ref;
+    if (!any || better) ref = v;
+    any = true;
+  }
+
+  const auto s = solve(p);
+  if (!any) {
+    EXPECT_EQ(s.status, MilpStatus::kInfeasible);
+    return;
+  }
+  ASSERT_EQ(s.status, MilpStatus::kOptimal) << to_string(s.status);
+  EXPECT_TRUE(p.is_feasible(s.values, 1e-5));
+  EXPECT_NEAR(s.objective, ref, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpRandom, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace loki::solver

@@ -1,0 +1,242 @@
+// End-to-end integration tests of the serving runtime: query lifecycle,
+// SLO accounting, hardware scale-down, accuracy scaling under pressure,
+// drop-policy behaviour, determinism, and baseline execution.
+#include <gtest/gtest.h>
+
+#include "baselines/inferline.hpp"
+#include "baselines/proteus.hpp"
+#include "pipeline/pipelines.hpp"
+#include "profile/profiler.hpp"
+#include "serving/system.hpp"
+#include "trace/arrivals.hpp"
+#include "trace/generator.hpp"
+
+namespace loki::serving {
+namespace {
+
+struct Runner {
+  pipeline::PipelineGraph graph;
+  ProfileTable profiles;
+  SystemConfig cfg;
+
+  explicit Runner(pipeline::PipelineGraph g) : graph(std::move(g)) {
+    profiles = build_profile_table(graph, profile::ModelProfiler());
+    cfg.allocator.cluster_size = 20;
+    cfg.allocator.slo_s = 0.250;
+  }
+
+  /// Runs `system` under constant demand for `duration` seconds.
+  template <typename MakeStrategy>
+  Metrics run_constant(double qps, double duration, MakeStrategy&& make,
+                       std::uint64_t seed = 1) {
+    sim::Simulation sim;
+    auto strategy = make();
+    cfg.seed = seed;
+    cfg.metrics_warmup_s = 10.0;  // skip the empty-cluster cold start
+    ServingSystem system(&sim, &graph, profiles, strategy.get(), cfg);
+    system.start();
+    trace::DemandCurve curve;
+    curve.interval_s = 1.0;
+    curve.qps.assign(static_cast<std::size_t>(duration), qps);
+    trace::ArrivalConfig acfg;
+    acfg.seed = seed + 99;
+    trace::ArrivalStream stream(curve, acfg);
+    std::function<void()> pump = [&]() {
+      system.submit();
+      const double next = stream.next();
+      if (next >= 0.0) sim.schedule_at(next, pump);
+    };
+    const double first = stream.next();
+    if (first >= 0.0) sim.schedule_at(first, pump);
+    sim.run_until(duration + 5.0);
+    system.finish(duration + 5.0);
+    return system.metrics();
+  }
+
+  std::unique_ptr<AllocationStrategy> loki() {
+    return std::make_unique<MilpAllocator>(cfg.allocator, &graph, profiles);
+  }
+};
+
+TEST(ServingSystem, LowLoadServesEverythingAtFullAccuracy) {
+  Runner r(pipeline::traffic_analysis_pipeline());
+  const auto m = r.run_constant(100.0, 60.0, [&]() { return r.loki(); });
+  EXPECT_GT(m.arrivals(), 4000u);
+  EXPECT_LT(m.slo_violation_ratio(), 0.02);
+  EXPECT_GT(m.mean_accuracy(), 0.995);
+  // Hardware scaling: nowhere near the full cluster at this load.
+  EXPECT_LT(m.mean_servers_used(), 15.0);
+}
+
+TEST(ServingSystem, ZeroLoadIsQuiet) {
+  Runner r(pipeline::social_media_pipeline());
+  const auto m = r.run_constant(0.0, 20.0, [&]() { return r.loki(); });
+  EXPECT_EQ(m.arrivals(), 0u);
+  EXPECT_EQ(m.violations(), 0u);
+}
+
+TEST(ServingSystem, LatenciesRespectSloAtModerateLoad) {
+  Runner r(pipeline::traffic_analysis_two_task_pipeline());
+  const auto m = r.run_constant(300.0, 60.0, [&]() { return r.loki(); });
+  EXPECT_LT(m.slo_violation_ratio(), 0.03);
+  EXPECT_LT(m.mean_latency_s(), r.cfg.allocator.slo_s);
+}
+
+TEST(ServingSystem, AccuracyScalingKicksInUnderPressure) {
+  Runner r(pipeline::traffic_analysis_two_task_pipeline());
+  const auto m = r.run_constant(1400.0, 60.0, [&]() { return r.loki(); });
+  // Demand beyond hardware-scaling capacity: accuracy must drop, but the
+  // queries should still be served.
+  EXPECT_LT(m.mean_accuracy(), 0.999);
+  EXPECT_LT(m.slo_violation_ratio(), 0.25);
+}
+
+TEST(ServingSystem, ExtremeOverloadShedsButSurvives) {
+  Runner r(pipeline::traffic_analysis_two_task_pipeline());
+  const auto m = r.run_constant(6000.0, 30.0, [&]() { return r.loki(); });
+  EXPECT_GT(m.shed() + m.drops(), 0u);
+  EXPECT_GT(m.completions(), 0u);  // still serving the admitted fraction
+}
+
+TEST(ServingSystem, DeterministicForSameSeed) {
+  Runner r(pipeline::traffic_analysis_pipeline());
+  const auto a = r.run_constant(250.0, 30.0, [&]() { return r.loki(); }, 7);
+  const auto b = r.run_constant(250.0, 30.0, [&]() { return r.loki(); }, 7);
+  EXPECT_EQ(a.arrivals(), b.arrivals());
+  EXPECT_EQ(a.violations(), b.violations());
+  EXPECT_EQ(a.completions(), b.completions());
+  EXPECT_DOUBLE_EQ(a.mean_accuracy(), b.mean_accuracy());
+}
+
+TEST(ServingSystem, SeedChangesArrivals) {
+  Runner r(pipeline::traffic_analysis_pipeline());
+  const auto a = r.run_constant(250.0, 30.0, [&]() { return r.loki(); }, 7);
+  const auto b = r.run_constant(250.0, 30.0, [&]() { return r.loki(); }, 8);
+  EXPECT_NE(a.arrivals(), b.arrivals());
+}
+
+TEST(ServingSystem, UtilizationScalesWithDemand) {
+  Runner r(pipeline::traffic_analysis_pipeline());
+  const auto low = r.run_constant(60.0, 40.0, [&]() { return r.loki(); });
+  const auto high = r.run_constant(500.0, 40.0, [&]() { return r.loki(); });
+  EXPECT_LT(low.mean_servers_used() + 2.0, high.mean_servers_used());
+}
+
+TEST(ServingSystem, InferLineBaselineRuns) {
+  Runner r(pipeline::traffic_analysis_pipeline());
+  const auto m = r.run_constant(150.0, 40.0, [&]() {
+    return std::make_unique<baselines::InferLineStrategy>(
+        r.cfg.allocator, &r.graph, r.profiles);
+  });
+  EXPECT_LT(m.slo_violation_ratio(), 0.05);
+  EXPECT_GT(m.mean_accuracy(), 0.999);
+}
+
+TEST(ServingSystem, ProteusBaselineRunsAndUsesCluster) {
+  Runner r(pipeline::traffic_analysis_pipeline());
+  const auto m = r.run_constant(150.0, 40.0, [&]() {
+    return std::make_unique<baselines::ProteusStrategy>(
+        r.cfg.allocator, &r.graph, r.profiles);
+  });
+  EXPECT_GT(m.completions(), 0u);
+  // No hardware scaling: the whole cluster stays on.
+  EXPECT_NEAR(m.mean_servers_used(), 20.0, 0.5);
+}
+
+TEST(ServingSystem, LokiBeatsInferLineBeyondHardwareCapacity) {
+  Runner r(pipeline::traffic_analysis_two_task_pipeline());
+  const double overload_qps = 1500.0;
+  const auto loki =
+      r.run_constant(overload_qps, 45.0, [&]() { return r.loki(); });
+  const auto inferline = r.run_constant(overload_qps, 45.0, [&]() {
+    return std::make_unique<baselines::InferLineStrategy>(
+        r.cfg.allocator, &r.graph, r.profiles);
+  });
+  EXPECT_LT(loki.slo_violation_ratio() * 2.0,
+            inferline.slo_violation_ratio());
+}
+
+class DropPolicyCase
+    : public ::testing::TestWithParam<DropPolicy> {};
+
+TEST_P(DropPolicyCase, RunsUnderPressure) {
+  Runner r(pipeline::traffic_analysis_two_task_pipeline());
+  r.cfg.drop_policy = GetParam();
+  const auto m = r.run_constant(1400.0, 30.0, [&]() { return r.loki(); });
+  EXPECT_GT(m.completions(), 0u);
+  EXPECT_LT(m.slo_violation_ratio(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, DropPolicyCase,
+    ::testing::Values(DropPolicy::kNone, DropPolicy::kLastTask,
+                      DropPolicy::kPerTask,
+                      DropPolicy::kOpportunisticReroute));
+
+TEST(ServingSystem, RerouteNoWorseThanNoDropping) {
+  Runner r(pipeline::traffic_analysis_two_task_pipeline());
+  r.cfg.drop_policy = DropPolicy::kNone;
+  const auto none = r.run_constant(1500.0, 40.0, [&]() { return r.loki(); });
+  r.cfg.drop_policy = DropPolicy::kOpportunisticReroute;
+  const auto reroute =
+      r.run_constant(1500.0, 40.0, [&]() { return r.loki(); });
+  EXPECT_LE(reroute.slo_violation_ratio(),
+            none.slo_violation_ratio() + 0.02);
+}
+
+TEST(ServingSystem, ExecNoiseStillWithinReason) {
+  Runner r(pipeline::traffic_analysis_pipeline());
+  r.cfg.exec_noise_frac = 0.05;
+  r.cfg.comm_jitter_frac = 0.2;
+  const auto m = r.run_constant(200.0, 40.0, [&]() { return r.loki(); });
+  EXPECT_LT(m.slo_violation_ratio(), 0.10);
+}
+
+TEST(ServingSystem, MultFactorEstimatesConvergeToObserved) {
+  Runner r(pipeline::traffic_analysis_two_task_pipeline());
+  sim::Simulation sim;
+  auto strategy = r.loki();
+  ServingSystem system(&sim, &r.graph, r.profiles, strategy.get(), r.cfg);
+  system.start();
+  trace::DemandCurve curve;
+  curve.interval_s = 1.0;
+  curve.qps.assign(40, 200.0);
+  trace::ArrivalConfig acfg;
+  trace::ArrivalStream stream(curve, acfg);
+  std::function<void()> pump = [&]() {
+    system.submit();
+    const double next = stream.next();
+    if (next >= 0.0) sim.schedule_at(next, pump);
+  };
+  sim.schedule_at(stream.next(), pump);
+  sim.run_until(45.0);
+  system.finish(45.0);
+  // At 200 QPS the plan hosts yolov5x (variant 4): the observed factor for
+  // it should hover near the true mean 2.10.
+  EXPECT_NEAR(system.mult_estimates()[0][4], 2.10, 0.15);
+}
+
+TEST(ServingSystem, StartTwiceForbidden) {
+  Runner r(pipeline::social_media_pipeline());
+  sim::Simulation sim;
+  auto strategy = r.loki();
+  ServingSystem system(&sim, &r.graph, r.profiles, strategy.get(), r.cfg);
+  system.start();
+  EXPECT_THROW(system.start(), CheckFailure);
+}
+
+TEST(ServingSystem, SolveTimeTracked) {
+  Runner r(pipeline::social_media_pipeline());
+  const auto m = r.run_constant(100.0, 25.0, [&]() { return r.loki(); });
+  (void)m;
+  // run_constant discards the system; re-run inline to check counters.
+  sim::Simulation sim;
+  auto strategy = r.loki();
+  ServingSystem system(&sim, &r.graph, r.profiles, strategy.get(), r.cfg);
+  system.start();
+  EXPECT_GE(system.allocations_performed(), 1);
+  EXPECT_GT(system.total_solve_time_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace loki::serving

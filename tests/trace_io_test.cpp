@@ -1,0 +1,81 @@
+// Demand-curve CSV round-trip and error handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/trace_io.hpp"
+
+namespace loki::trace {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceIo, RoundTrip) {
+  TraceConfig cfg;
+  cfg.duration_s = 120.0;
+  cfg.interval_s = 2.0;
+  cfg.peak_qps = 55.0;
+  const auto curve = generate_trace(cfg);
+  const auto path = temp_path("loki_trace_io_roundtrip.csv");
+  save_curve_csv(curve, path);
+  const auto loaded = load_curve_csv(path);
+  ASSERT_EQ(loaded.qps.size(), curve.qps.size());
+  EXPECT_NEAR(loaded.interval_s, curve.interval_s, 1e-9);
+  for (std::size_t i = 0; i < curve.qps.size(); i += 7) {
+    EXPECT_NEAR(loaded.qps[i], curve.qps[i], 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_curve_csv("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedRowThrows) {
+  const auto path = temp_path("loki_trace_io_bad.csv");
+  {
+    std::ofstream f(path);
+    f << "t_s,qps\n0.0,10\nnot-a-number,20\n";
+  }
+  EXPECT_THROW(load_curve_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, NonUniformSamplingThrows) {
+  const auto path = temp_path("loki_trace_io_nonuniform.csv");
+  {
+    std::ofstream f(path);
+    f << "t_s,qps\n0.0,10\n1.0,20\n5.0,30\n";
+  }
+  EXPECT_THROW(load_curve_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TooFewSamplesThrows) {
+  const auto path = temp_path("loki_trace_io_short.csv");
+  {
+    std::ofstream f(path);
+    f << "t_s,qps\n0.0,10\n";
+  }
+  EXPECT_THROW(load_curve_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadedCurveDrivesInterpolation) {
+  const auto path = temp_path("loki_trace_io_interp.csv");
+  {
+    std::ofstream f(path);
+    f << "t_s,qps\n0.0,0\n1.0,100\n2.0,200\n";
+  }
+  const auto curve = load_curve_csv(path);
+  EXPECT_DOUBLE_EQ(curve.at(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(curve.at(1.5), 150.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace loki::trace
