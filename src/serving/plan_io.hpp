@@ -28,4 +28,23 @@ std::string routing_to_string(const pipeline::PipelineGraph& g,
                               const AllocationPlan& plan,
                               const RoutingPlan& routing);
 
+/// Machine-readable plan serialization (versioned line format). Doubles are
+/// printed with round-trip precision, so
+///   plan_from_text(plan_to_text(p)) == p
+/// field for field, including instance groups, path flows, and the
+/// per-(task,variant) latency budgets.
+std::string plan_to_text(const AllocationPlan& plan);
+
+/// Parses a plan produced by plan_to_text. Throws std::runtime_error with a
+/// line-numbered message on any malformed input: wrong magic/version,
+/// unknown directive or mode, short/overlong records, non-numeric fields,
+/// out-of-range fractions, or duplicate budget keys.
+AllocationPlan plan_from_text(const std::string& text);
+
+/// File convenience wrappers around the text format. save_plan throws
+/// std::runtime_error on I/O failure; load_plan additionally throws on
+/// parse errors, like plan_from_text.
+void save_plan(const AllocationPlan& plan, const std::string& path);
+AllocationPlan load_plan(const std::string& path);
+
 }  // namespace loki::serving

@@ -104,13 +104,19 @@ void ServingSystem::start() {
   run_resource_manager();  // initial allocation + routing
   // Periodic control loops. Self-rescheduling keeps periods exact.
   auto schedule_periodic = [this](double period, auto&& fn) {
-    // Wrap in a shared_ptr'd lambda so it can reschedule itself.
+    // The system owns the callback (periodic_); the scheduled copies only
+    // hold a weak_ptr, so the reschedule cycle cannot keep itself alive
+    // (was a shared_ptr self-capture leak). The copies still capture `this`:
+    // the system must outlive any further sim_->run_*() calls, as everywhere
+    // in this codebase.
     auto holder = std::make_shared<std::function<void()>>();
-    *holder = [this, period, holder, fn]() {
+    std::weak_ptr<std::function<void()>> weak = holder;
+    *holder = [this, period, weak, fn]() {
       if (stopped_) return;
       fn();
-      sim_->schedule_after(period, *holder);
+      if (auto cb = weak.lock()) sim_->schedule_after(period, *cb);
     };
+    periodic_.push_back(holder);
     sim_->schedule_after(period, *holder);
   };
   schedule_periodic(cfg_.rm_period_s, [this]() { run_resource_manager(); });

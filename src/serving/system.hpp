@@ -16,6 +16,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -201,6 +202,10 @@ class ServingSystem {
   Rng rng_shed_;
 
   MetadataStore* metadata_ = nullptr;
+  /// Owners of the self-rescheduling control-loop callbacks. The scheduled
+  /// lambdas hold weak_ptrs into these, so destroying the system breaks the
+  /// reschedule cycle instead of leaking it.
+  std::vector<std::shared_ptr<std::function<void()>>> periodic_;
   bool started_ = false;
   bool stopped_ = false;
   bool has_plan_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <queue>
 
 #include "common/check.hpp"
@@ -63,9 +64,20 @@ MilpSolution BranchAndBound::solve(
     const std::optional<std::vector<double>>& warm_start) const {
   using Clock = std::chrono::steady_clock;
   const auto t_start = Clock::now();
+  // The wall-clock budget makes results depend on machine speed: a slow host
+  // can truncate the search where a fast one proves optimality. Tests set
+  // LOKI_MILP_NO_TIME_LIMIT=1 (see CMakeLists) so every suite is
+  // bit-reproducible across runs and hosts; the deterministic max_nodes
+  // budget still bounds the search.
+  const bool ignore_deadline = [] {
+    const char* env = std::getenv("LOKI_MILP_NO_TIME_LIMIT");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
   const auto deadline =
-      t_start + std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(options_.time_limit_s));
+      ignore_deadline
+          ? Clock::time_point::max()
+          : t_start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(options_.time_limit_s));
 
   MilpSolution out;
   const double sense_sign = base.sense() == Sense::kMinimize ? 1.0 : -1.0;

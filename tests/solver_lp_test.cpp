@@ -91,8 +91,8 @@ TEST(Simplex, HandlesShiftedLowerBounds) {
 
 TEST(Simplex, RespectsUpperBounds) {
   LpProblem p(Sense::kMaximize);
-  const int x = p.add_variable("x", 0, 2.5, 1.0);
-  const int y = p.add_variable("y", 0, 1.5, 1.0);
+  p.add_variable("x", 0, 2.5, 1.0);
+  p.add_variable("y", 0, 1.5, 1.0);
   const auto s = solve(p);
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_NEAR(s.objective, 4.0, 1e-7);
@@ -139,7 +139,7 @@ TEST(Simplex, MergesDuplicateTerms) {
 
 TEST(Simplex, ObjectiveOffsetIncluded) {
   LpProblem p(Sense::kMaximize);
-  const int x = p.add_variable("x", 0, 1.0, 2.0);
+  p.add_variable("x", 0, 1.0, 2.0);
   p.set_objective_offset(10.0);
   const auto s = solve(p);
   ASSERT_EQ(s.status, LpStatus::kOptimal);

@@ -15,7 +15,7 @@ MilpSolution solve(const LpProblem& p) { return BranchAndBound().solve(p); }
 
 TEST(Milp, SolvesLpWhenNoIntegers) {
   LpProblem p(Sense::kMaximize);
-  const int x = p.add_variable("x", 0, 3.5, 1.0);
+  p.add_variable("x", 0, 3.5, 1.0);
   const auto s = solve(p);
   ASSERT_EQ(s.status, MilpStatus::kOptimal);
   EXPECT_NEAR(s.objective, 3.5, 1e-7);

@@ -1,0 +1,168 @@
+#include "tests/test_support.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace loki::test {
+namespace fs = std::filesystem;
+
+TempDir::TempDir(const std::string& prefix) {
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path root = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fs::path candidate =
+        root / (prefix + "_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec)) {
+      path_ = candidate;
+      return;
+    }
+  }
+  ADD_FAILURE() << "TempDir: could not create a unique directory under "
+                << root;
+  path_ = root;
+}
+
+TempDir::~TempDir() {
+  if (path_.empty() || path_ == fs::temp_directory_path()) return;
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+}
+
+std::string TempDir::file(const std::string& name) const {
+  return (path_ / name).string();
+}
+
+namespace {
+
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> cells;
+    std::string cell;
+    std::stringstream ss(line);
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (!line.empty() && line.back() == ',') cells.push_back("");
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+CsvDiff compare_csv_files(const std::string& expected_path,
+                          const std::string& actual_path, double abs_tol,
+                          double rel_tol) {
+  CsvDiff diff;
+  std::ifstream ef(expected_path), af(actual_path);
+  if (!ef.is_open()) {
+    diff.equal = false;
+    diff.message = "cannot open expected file: " + expected_path;
+    return diff;
+  }
+  if (!af.is_open()) {
+    diff.equal = false;
+    diff.message = "cannot open actual file: " + actual_path;
+    return diff;
+  }
+  const auto expected = parse_csv(ef);
+  const auto actual = parse_csv(af);
+  if (expected.size() != actual.size()) {
+    diff.equal = false;
+    diff.message = "row count mismatch: expected " +
+                   std::to_string(expected.size()) + ", actual " +
+                   std::to_string(actual.size());
+    return diff;
+  }
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    if (expected[r].size() != actual[r].size()) {
+      diff.equal = false;
+      diff.message = "row " + std::to_string(r) + ": column count mismatch";
+      return diff;
+    }
+    for (std::size_t c = 0; c < expected[r].size(); ++c) {
+      const std::string& e = expected[r][c];
+      const std::string& a = actual[r][c];
+      double ev = 0, av = 0;
+      if (parse_double(e, &ev) && parse_double(a, &av)) {
+        const double tol =
+            abs_tol + rel_tol * std::max(std::abs(ev), std::abs(av));
+        if (std::abs(ev - av) > tol) {
+          diff.equal = false;
+          diff.message = "row " + std::to_string(r) + " col " +
+                         std::to_string(c) + ": " + e + " vs " + a;
+          return diff;
+        }
+      } else if (e != a) {
+        diff.equal = false;
+        diff.message = "row " + std::to_string(r) + " col " +
+                       std::to_string(c) + ": \"" + e + "\" vs \"" + a + "\"";
+        return diff;
+      }
+    }
+  }
+  return diff;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  fs::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << "write_file: cannot open " << path;
+  out << content;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    ADD_FAILURE() << "read_file: cannot open " << path;
+    return "";
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::uint64_t test_seed() {
+  if (const char* env = std::getenv("LOKI_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return 0x10C1DEADULL;  // fixed default: suites are bit-reproducible in CI
+}
+
+std::uint64_t test_seed(const std::string& label) {
+  // FNV-1a mix of the base seed and the label.
+  std::uint64_t h = 1469598103934665603ULL ^ test_seed();
+  for (unsigned char ch : label) {
+    h ^= ch;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace loki::test
