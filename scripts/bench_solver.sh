@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Solver benchmark runner: builds the bench targets in Release, runs
+# abl_solver and tab_runtime_overhead, and merges their google-benchmark
+# JSON reports into BENCH_solver.json (per-op wall time in ns plus the
+# pivot/node/warm-start counters each benchmark exports).
+#
+# Usage: scripts/bench_solver.sh [--quick] [output.json]
+#   --quick   run with --benchmark_min_time=0.01 (CI smoke; noisy numbers)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+out_json="BENCH_solver.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *.json) out_json="$arg" ;;
+    *) echo "usage: $0 [--quick] [output.json]" >&2; exit 2 ;;
+  esac
+done
+
+# BENCH_BUILD_DIR lets CI reuse its existing Release tree instead of
+# configuring a second one.
+build_dir="${BENCH_BUILD_DIR:-build-release}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+if ! cmake --build "$build_dir" -j "$jobs" \
+      --target abl_solver tab_runtime_overhead 2>/dev/null; then
+  echo "bench targets unavailable (Google Benchmark not installed?)" >&2
+  exit 3
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
+# deprecates the bare double; older releases reject the suffix outright.
+# Probe which spelling this libbenchmark accepts.
+min_time=""
+if [[ "$quick" == 1 ]]; then
+  if "$build_dir/abl_solver" --benchmark_min_time=0.01s \
+       --benchmark_list_tests >/dev/null 2>&1; then
+    min_time="--benchmark_min_time=0.01s"
+  else
+    min_time="--benchmark_min_time=0.01"
+  fi
+fi
+
+# LOKI_MILP_NO_TIME_LIMIT pins branch-and-bound to its deterministic node
+# budget so pivot/node counters are reproducible across hosts.
+export LOKI_MILP_NO_TIME_LIMIT=1
+"$build_dir/abl_solver" ${min_time} \
+  --benchmark_out="$tmpdir/abl_solver.json" --benchmark_out_format=json
+"$build_dir/tab_runtime_overhead" ${min_time} \
+  --benchmark_filter='BM_RawSimplex|BM_ResourceManagerMilp' \
+  --benchmark_out="$tmpdir/tab_runtime_overhead.json" \
+  --benchmark_out_format=json
+
+python3 - "$tmpdir" "$out_json" <<'PYEOF'
+import json
+import sys
+
+tmpdir, out_path = sys.argv[1], sys.argv[2]
+merged = {"benchmarks": []}
+for name in ("abl_solver", "tab_runtime_overhead"):
+    with open(f"{tmpdir}/{name}.json") as f:
+        report = json.load(f)
+    merged.setdefault("context", report.get("context", {}))
+    for b in report.get("benchmarks", []):
+        entry = {
+            "binary": name,
+            "name": b["name"],
+            "real_time_ns": b["real_time"] * {"ns": 1, "us": 1e3,
+                                              "ms": 1e6, "s": 1e9}[b["time_unit"]],
+        }
+        for key, value in b.items():
+            # google-benchmark flattens user counters into the benchmark
+            # object; pick up the solver counters by name.
+            if key in ("pivots", "bound_flips", "pivots_per_resolve",
+                       "warm_fraction", "lp_pivots", "phase1_pivots",
+                       "nodes", "warm_hits", "cold_solves"):
+                entry[key] = value
+        merged["benchmarks"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+PYEOF

@@ -754,6 +754,9 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
   solver::BranchAndBound bnb(cfg_.milp);
   AllocationPlan plan;
   plan.demand_qps = demand_qps;
+  auto track = [&result](const solver::MilpSolution& sol) {
+    result.stats.add(sol);
+  };
 
   // Extracts instances/flows/accuracy from a solution vector.
   auto extract = [&](const std::vector<double>& x, double lambda) {
@@ -810,6 +813,7 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
       for (int v : vars) lp.set_objective_coeff(v, -kServerPenalty);
     }
     auto solA = bnb.solve(lp, trivial);
+    track(solA);
     if (solA.status != solver::MilpStatus::kOptimal &&
         solA.status != solver::MilpStatus::kFeasible) {
       return result;
@@ -826,6 +830,7 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
     lp.add_constraint(std::move(fix));
     set_accuracy_objective();
     auto solB = bnb.solve(lp, solA.values);
+    track(solB);
     const auto& sol = (solB.status == solver::MilpStatus::kOptimal ||
                        solB.status == solver::MilpStatus::kFeasible)
                           ? solB
@@ -848,6 +853,7 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
   }
 
   auto sol = bnb.solve(lp, warm);
+  track(sol);
   if (sol.status != solver::MilpStatus::kOptimal &&
       sol.status != solver::MilpStatus::kFeasible) {
     return result;
@@ -869,11 +875,17 @@ AllocationPlan MilpAllocator::allocate(double demand_qps,
         std::min<std::size_t>(splits.size(), 8));
   }
 
+  // Solver counters aggregate over every split of every step attempted for
+  // this allocation, not just the winning plan's own solve.
+  SolverStats agg;
+  auto merge_stats = [&agg](const SolverStats& s) { agg += s; };
+
   auto finish = [&](AllocationPlan plan) {
     plan.solve_time_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     plan.demand_qps = demand_qps;
+    plan.solver = agg;
     // Remember the hosted variants for the next solve's continuity bonus.
     prev_variants_.assign(static_cast<std::size_t>(graph_->num_tasks()), {});
     for (int t = 0; t < graph_->num_tasks(); ++t) {
@@ -902,6 +914,7 @@ AllocationPlan MilpAllocator::allocate(double demand_qps,
   // Step 1: hardware scaling — minimize servers at maximum accuracy.
   std::optional<AllocationPlan> best;
   for (auto& res : solve_all(/*hardware_only=*/true, false)) {
+    merge_stats(res.stats);
     if (!res.feasible) continue;
     if (!best || res.plan.servers_used < best->servers_used) {
       best = std::move(res.plan);
@@ -911,6 +924,7 @@ AllocationPlan MilpAllocator::allocate(double demand_qps,
 
   // Step 2: accuracy scaling — maximize accuracy on the full cluster.
   for (auto& res : solve_all(/*hardware_only=*/false, false)) {
+    merge_stats(res.stats);
     if (!res.feasible) continue;
     if (!best ||
         res.plan.expected_accuracy > best->expected_accuracy + 1e-9 ||
@@ -924,6 +938,7 @@ AllocationPlan MilpAllocator::allocate(double demand_qps,
 
   // Step 3: overload — maximize served fraction, then accuracy.
   for (auto& res : solve_all(/*hardware_only=*/false, true)) {
+    merge_stats(res.stats);
     if (!res.feasible) continue;
     if (!best || res.plan.served_fraction > best->served_fraction + 1e-9 ||
         (std::abs(res.plan.served_fraction - best->served_fraction) <= 1e-9 &&

@@ -128,6 +128,9 @@ class MilpAllocator : public AllocationStrategy {
   struct MilpResult {
     bool feasible = false;
     AllocationPlan plan;
+    /// Counters for every branch-and-bound run in this step, captured even
+    /// when the step is infeasible (the caller aggregates across splits).
+    SolverStats stats;
   };
 
   /// Solves one MILP for one budget split. `hardware_only` restricts each

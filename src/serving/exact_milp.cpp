@@ -308,7 +308,7 @@ ExactMilpResult ExactMilpFormulation::solve(
   solver::BranchAndBound bnb(opts);
   const auto sol = bnb.solve(lp);
   out.status = sol.status;
-  out.nodes_explored = sol.nodes_explored;
+  out.stats.add(sol);
   if (sol.status != solver::MilpStatus::kOptimal &&
       sol.status != solver::MilpStatus::kFeasible) {
     return out;

@@ -32,7 +32,8 @@ struct ExactMilpResult {
   double expected_accuracy = 1.0;  // flow-weighted over sinks
   int servers_used = 0;
   solver::MilpStatus status = solver::MilpStatus::kNoSolution;
-  int nodes_explored = 0;
+  /// Branch-and-bound counters for the single solve behind this result.
+  SolverStats stats;
 };
 
 class ExactMilpFormulation {

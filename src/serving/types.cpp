@@ -1,6 +1,29 @@
 #include "serving/types.hpp"
 
+#include "solver/milp.hpp"
+
 namespace loki::serving {
+
+SolverStats& SolverStats::operator+=(const SolverStats& o) {
+  milp_solves += o.milp_solves;
+  nodes_explored += o.nodes_explored;
+  nodes_pruned += o.nodes_pruned;
+  lp_iterations += o.lp_iterations;
+  lp_phase1_iterations += o.lp_phase1_iterations;
+  warm_start_hits += o.warm_start_hits;
+  cold_solves += o.cold_solves;
+  return *this;
+}
+
+void SolverStats::add(const solver::MilpSolution& sol) {
+  ++milp_solves;
+  nodes_explored += sol.nodes_explored;
+  nodes_pruned += sol.nodes_pruned;
+  lp_iterations += sol.lp_iterations;
+  lp_phase1_iterations += sol.lp_phase1_iterations;
+  warm_start_hits += sol.warm_start_hits;
+  cold_solves += sol.cold_solves;
+}
 
 std::string to_string(ScalingMode m) {
   switch (m) {

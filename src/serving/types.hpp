@@ -9,6 +9,10 @@
 
 #include "pipeline/paths.hpp"
 
+namespace loki::solver {
+struct MilpSolution;
+}  // namespace loki::solver
+
 namespace loki::serving {
 
 /// Which regime produced the plan (§4: hardware scaling first, accuracy
@@ -34,6 +38,24 @@ struct PathFlow {
   double fraction = 0.0;
 };
 
+/// Aggregated branch-and-bound counters over every MILP solved while
+/// producing one plan (all budget splits, all allocation steps). Runtime
+/// diagnostics only — not serialized by plan_io. Read against
+/// bench/tab_runtime_overhead and bench/abl_solver for regression tracking.
+struct SolverStats {
+  int milp_solves = 0;           // BranchAndBound::solve invocations
+  int nodes_explored = 0;        // nodes whose LP relaxation was solved
+  int nodes_pruned = 0;          // nodes discarded before any LP work
+  int lp_iterations = 0;         // simplex pivots + bound flips, all nodes
+  int lp_phase1_iterations = 0;  // pivots spent restoring feasibility
+  int warm_start_hits = 0;       // node LPs resolved from a reused basis
+  int cold_solves = 0;           // node LPs that ran a full two-phase solve
+
+  SolverStats& operator+=(const SolverStats& o);
+  /// Folds one branch-and-bound result into the tally (bumps milp_solves).
+  void add(const solver::MilpSolution& sol);
+};
+
 /// Output of the Resource Manager (§4.1): model variants to host, their
 /// replication factors and max batch sizes, plus the planned path flows the
 /// Load Balancer turns into routing tables.
@@ -53,6 +75,8 @@ struct AllocationPlan {
   /// runtime checks; §5.2 uses these budgets for early dropping).
   std::map<std::pair<int, int>, double> latency_budget_s;
   double solve_time_s = 0.0;
+  /// Solver work behind this plan (zero for non-MILP strategies).
+  SolverStats solver;
   bool feasible = true;
 
   int total_replicas() const;

@@ -24,6 +24,25 @@ void Simulation::cancel(EventId id) {
   if (it == callbacks_.end()) return;  // already fired
   cancelled_.insert(id.value);
   callbacks_.erase(it);
+  // Cancelled entries are normally purged lazily as they reach the heap
+  // top, but a workload that cancels far-future events (timeout timers
+  // rearmed on every request) would otherwise accumulate them without
+  // bound. Rebuild the heap once tombstones dominate.
+  if (cancelled_.size() > queue_.size() / 2 && cancelled_.size() > 64) {
+    compact();
+  }
+}
+
+void Simulation::compact() {
+  std::vector<Entry> live;
+  live.reserve(queue_.size() - cancelled_.size());
+  while (!queue_.empty()) {
+    const Entry& e = queue_.top();
+    if (cancelled_.count(e.id) == 0) live.push_back(e);
+    queue_.pop();
+  }
+  cancelled_.clear();
+  queue_ = QueueType(EntryCompare{}, std::move(live));
 }
 
 bool Simulation::step() {
@@ -51,6 +70,15 @@ void Simulation::run_until(Time t_end) {
   LOKI_CHECK(t_end >= now_);
   while (!queue_.empty()) {
     const Entry& e = queue_.top();
+    // Purge cancelled heads here rather than letting step() skip them:
+    // otherwise a cancelled entry with t <= t_end would make step() fire
+    // the *next* event unconditionally, even when it lies past t_end.
+    auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
     if (e.t > t_end) break;
     step();
   }

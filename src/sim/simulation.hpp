@@ -60,11 +60,15 @@ class Simulation {
       return a.seq > b.seq;
     }
   };
+  using QueueType = std::priority_queue<Entry, std::vector<Entry>, EntryCompare>;
+
+  /// Rebuilds the heap without cancelled tombstones.
+  void compact();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
+  QueueType queue_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::unordered_set<std::uint64_t> cancelled_;
 };

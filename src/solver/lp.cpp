@@ -1,7 +1,7 @@
 #include "solver/lp.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -26,13 +26,24 @@ int LpProblem::add_variable(std::string name, double lo, double hi,
 
 void LpProblem::add_constraint(Constraint c) {
   // Merge duplicate variable indices so downstream code can assume one
-  // coefficient per variable per row.
-  std::map<int, double> merged;
+  // coefficient per variable per row. In-place sort + coalesce: this runs
+  // for every row of every node LP build, and the tree-map it replaced was
+  // a measurable slice of small-allocation traffic.
   for (const auto& [var, coeff] : c.terms) {
+    (void)coeff;
     LOKI_CHECK(var >= 0 && var < num_variables());
-    merged[var] += coeff;
   }
-  c.terms.assign(merged.begin(), merged.end());
+  std::sort(c.terms.begin(), c.terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < c.terms.size(); ++i) {
+    if (out > 0 && c.terms[out - 1].first == c.terms[i].first) {
+      c.terms[out - 1].second += c.terms[i].second;
+    } else {
+      c.terms[out++] = c.terms[i];
+    }
+  }
+  c.terms.resize(out);
   constraints_.push_back(std::move(c));
 }
 

@@ -81,6 +81,7 @@ MilpSolution BranchAndBound::solve(
 
   MilpSolution out;
   const double sense_sign = base.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  const int nv = base.num_variables();
 
   // Incumbent tracked in minimization terms.
   double incumbent_obj = kInf;
@@ -96,7 +97,17 @@ MilpSolution BranchAndBound::solve(
     }
   }
 
-  SimplexSolver lp_solver(options_.lp);
+  // One shared standard-form instance for every node: nodes are pure bound
+  // overlays, and each LP warm-starts from the last solved basis.
+  SimplexContext ctx(base, options_.lp);
+  std::vector<double> base_lo(static_cast<std::size_t>(nv));
+  std::vector<double> base_hi(static_cast<std::size_t>(nv));
+  for (int j = 0; j < nv; ++j) {
+    base_lo[j] = base.lower_bound(j);
+    base_hi[j] = base.upper_bound(j);
+  }
+  std::vector<double> node_lo(static_cast<std::size_t>(nv));
+  std::vector<double> node_hi(static_cast<std::size_t>(nv));
 
   std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
   std::uint64_t seq = 0;
@@ -115,25 +126,40 @@ MilpSolution BranchAndBound::solve(
     open.pop();
 
     // Prune by bound before paying for the LP.
-    if (node.bound >= incumbent_obj - options_.gap_tol) continue;
+    if (node.bound >= incumbent_obj - options_.gap_tol) {
+      ++out.nodes_pruned;
+      continue;
+    }
 
-    // Materialize the node problem: base + bound deltas.
-    LpProblem p = base;
+    // Overlay the node's bound deltas on the base box — no LpProblem copy.
+    // An empty intersection prunes the node before any LP work.
+    node_lo = base_lo;
+    node_hi = base_hi;
     bool empty_box = false;
     for (const auto& d : node.deltas) {
-      const double lo = std::max(d.lo, p.lower_bound(d.var));
-      const double hi = std::min(d.hi, p.upper_bound(d.var));
+      double& lo = node_lo[static_cast<std::size_t>(d.var)];
+      double& hi = node_hi[static_cast<std::size_t>(d.var)];
+      lo = std::max(lo, d.lo);
+      hi = std::min(hi, d.hi);
       if (lo > hi) {
         empty_box = true;
         break;
       }
-      p.set_bounds(d.var, lo, hi);
     }
-    if (empty_box) continue;
+    if (empty_box) {
+      ++out.nodes_pruned;
+      continue;
+    }
 
-    LpSolution rel = lp_solver.solve(p);
+    LpSolution rel = ctx.solve_with_bounds(node_lo, node_hi);
     ++out.nodes_explored;
     out.lp_iterations += rel.iterations;
+    out.lp_phase1_iterations += rel.phase1_iterations;
+    if (rel.warm_started) {
+      ++out.warm_start_hits;
+    } else {
+      ++out.cold_solves;
+    }
 
     if (rel.status == LpStatus::kInfeasible) continue;
     if (rel.status == LpStatus::kUnbounded) {
@@ -154,7 +180,7 @@ MilpSolution BranchAndBound::solve(
     // Find the most fractional integer variable.
     int branch_var = -1;
     double branch_frac_dist = -1.0;
-    for (int j = 0; j < base.num_variables(); ++j) {
+    for (int j = 0; j < nv; ++j) {
       if (base.var_type(j) == VarType::kContinuous) continue;
       const double v = rel.values[j];
       const double frac = v - std::floor(v);

@@ -5,6 +5,13 @@
 // well under the paper's reported ~500 ms Gurobi budget (see
 // bench/tab_runtime_overhead). Time/node limits make the worst case bounded:
 // on limit the solver returns the best incumbent with its optimality gap.
+//
+// Node representation: a node is a chain of bound deltas over ONE shared
+// standard-form instance (SimplexContext) — no per-node LpProblem copy, no
+// constraint-vector or name-string churn. Each node LP warm-starts from the
+// previously solved basis via bounded dual simplex (any optimal basis stays
+// dual-feasible under pure bound changes), so most nodes resolve in a
+// handful of pivots instead of a full phase-1 + phase-2 run.
 #pragma once
 
 #include <optional>
@@ -38,8 +45,14 @@ struct MilpSolution {
   MilpStatus status = MilpStatus::kNoSolution;
   double objective = 0.0;
   std::vector<double> values;
-  int nodes_explored = 0;
-  int lp_iterations = 0;
+  int nodes_explored = 0;        // nodes whose LP relaxation was solved
+  int nodes_pruned = 0;          // nodes discarded before any LP work
+                                 // (bound dominated or empty bound box)
+  int lp_iterations = 0;         // simplex pivots + bound flips, all nodes
+  int lp_phase1_iterations = 0;  // subset spent restoring feasibility
+                                 // (cold phase 1 or warm dual repair)
+  int warm_start_hits = 0;       // node LPs resolved from the reused basis
+  int cold_solves = 0;           // node LPs that ran a full two-phase solve
   /// |best bound - incumbent|; 0 when proven optimal.
   double gap = 0.0;
 };

@@ -17,315 +17,605 @@ std::string to_string(LpStatus s) {
   return "?";
 }
 
-namespace {
+// Internal form: minimize cost·x over  A x + s = b,  lo <= x <= hi, with one
+// slack s_i per row whose bounds encode the relation (kLe: [0, inf),
+// kGe: (-inf, 0], kEq: [0, 0]). Column layout:
+//   [0, nv)          structural variables
+//   [nv, nv+m)       slacks
+//   [nv+m, nv+2m)    artificials (cold phase 1 only; fixed at 0 afterwards)
+// The tableau a_ holds B^-1 A; bvec_ holds B^-1 b; both are updated
+// incrementally on every pivot, as is the reduced-cost row d_.
 
-// Internal standard-form tableau:
-//   minimize c·x   s.t.  A x = b,  x >= 0,  b >= 0
-// built from the LpProblem by (1) shifting each variable by its lower bound,
-// (2) materializing finite upper bounds as rows, (3) adding slack/surplus
-// and artificial columns.
-struct Tableau {
-  int m = 0;                         // rows
-  int n = 0;                         // columns (all variables)
-  std::vector<double> a;             // m x n row-major
-  std::vector<double> b;             // rhs, length m
-  std::vector<int> basis;            // basic variable per row
-  std::vector<bool> artificial;     // per column
-  std::vector<double> cost;          // phase-2 cost per column
-  std::vector<bool> row_active;      // redundant rows disabled after phase 1
-
-  double& at(int i, int j) { return a[static_cast<std::size_t>(i) * n + j]; }
-  double at(int i, int j) const {
-    return a[static_cast<std::size_t>(i) * n + j];
+SimplexContext::SimplexContext(const LpProblem& p, SimplexOptions options)
+    : opt_(options) {
+  sign_ = p.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  obj_offset_ = p.objective_offset();
+  nv_ = p.num_variables();
+  m_ = p.num_constraints();
+  n_ = nv_ + 2 * m_;
+  obj_.resize(static_cast<std::size_t>(nv_));
+  base_lo_.resize(static_cast<std::size_t>(nv_));
+  base_hi_.resize(static_cast<std::size_t>(nv_));
+  for (int j = 0; j < nv_; ++j) {
+    obj_[j] = p.objective_coeff(j);
+    base_lo_[j] = p.lower_bound(j);
+    base_hi_[j] = p.upper_bound(j);
   }
-};
-
-struct PivotResult {
-  bool moved = false;
-  bool unbounded = false;
-  bool degenerate = false;
-};
-
-// One simplex pivot for the given cost vector. `allow_artificial_enter`
-// is false in phase 2.
-PivotResult pivot_step(Tableau& t, const std::vector<double>& cost,
-                       bool bland, bool allow_artificial_enter, double tol) {
-  // Reduced costs: d_j = cost_j - y·A_j with y_i = cost[basis[i]].
-  // Computed directly from the tableau: d_j = cost_j - sum_i cost[basis[i]]*T[i][j].
-  int enter = -1;
-  double best = -tol;
-  for (int j = 0; j < t.n; ++j) {
-    if (!allow_artificial_enter && t.artificial[j]) continue;
-    bool is_basic = false;
-    // Basic columns have reduced cost 0 by construction; skip via scan of
-    // basis is O(m) per column — instead rely on the numeric test below,
-    // which evaluates ~0 for basic columns anyway.
-    double d = cost[j];
-    for (int i = 0; i < t.m; ++i) {
-      if (!t.row_active[i]) continue;
-      const double aij = t.at(i, j);
-      if (aij != 0.0) d -= cost[t.basis[i]] * aij;
-      if (t.basis[i] == j) is_basic = true;
-    }
-    if (is_basic) continue;
-    if (bland) {
-      if (d < -tol) {
-        enter = j;
+  row_terms_.reserve(static_cast<std::size_t>(m_));
+  rhs_.reserve(static_cast<std::size_t>(m_));
+  slack_lo_.reserve(static_cast<std::size_t>(m_));
+  slack_hi_.reserve(static_cast<std::size_t>(m_));
+  for (const auto& c : p.constraints()) {
+    row_terms_.push_back(c.terms);
+    rhs_.push_back(c.rhs);
+    switch (c.rel) {
+      case Relation::kLe: slack_lo_.push_back(0.0); slack_hi_.push_back(kInf);
         break;
-      }
-    } else if (d < best) {
-      best = d;
-      enter = j;
+      case Relation::kGe: slack_lo_.push_back(-kInf); slack_hi_.push_back(0.0);
+        break;
+      case Relation::kEq: slack_lo_.push_back(0.0); slack_hi_.push_back(0.0);
+        break;
     }
   }
-  if (enter < 0) return {};  // optimal for this cost vector
-
-  // Ratio test.
-  int leave_row = -1;
-  double best_ratio = 0.0;
-  for (int i = 0; i < t.m; ++i) {
-    if (!t.row_active[i]) continue;
-    const double aij = t.at(i, enter);
-    if (aij > tol) {
-      const double ratio = t.b[i] / aij;
-      if (leave_row < 0 || ratio < best_ratio - tol ||
-          (ratio < best_ratio + tol && t.basis[i] < t.basis[leave_row])) {
-        leave_row = i;
-        best_ratio = ratio;
-      }
-    }
-  }
-  if (leave_row < 0) return {.moved = false, .unbounded = true};
-
-  const bool degenerate = best_ratio < tol;
-
-  // Pivot on (leave_row, enter).
-  const double piv = t.at(leave_row, enter);
-  const double inv = 1.0 / piv;
-  for (int j = 0; j < t.n; ++j) t.at(leave_row, j) *= inv;
-  t.b[leave_row] *= inv;
-  t.at(leave_row, enter) = 1.0;  // exact
-  for (int i = 0; i < t.m; ++i) {
-    if (i == leave_row || !t.row_active[i]) continue;
-    const double factor = t.at(i, enter);
-    if (factor == 0.0) continue;
-    for (int j = 0; j < t.n; ++j) {
-      t.at(i, j) -= factor * t.at(leave_row, j);
-    }
-    t.at(i, enter) = 0.0;  // exact
-    t.b[i] -= factor * t.b[leave_row];
-    if (t.b[i] < 0.0 && t.b[i] > -tol) t.b[i] = 0.0;
-  }
-  t.basis[leave_row] = enter;
-  return {.moved = true, .unbounded = false, .degenerate = degenerate};
+  a_.assign(static_cast<std::size_t>(m_) * n_, 0.0);
+  bvec_.assign(static_cast<std::size_t>(m_), 0.0);
+  xb_.assign(static_cast<std::size_t>(m_), 0.0);
+  d_.assign(static_cast<std::size_t>(n_), 0.0);
+  cost_.assign(static_cast<std::size_t>(n_), 0.0);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  row_active_.assign(static_cast<std::size_t>(m_), 1);
+  lo_.assign(static_cast<std::size_t>(n_), 0.0);
+  hi_.assign(static_cast<std::size_t>(n_), 0.0);
+  val_.assign(static_cast<std::size_t>(n_), 0.0);
+  state_.assign(static_cast<std::size_t>(n_), VarState::kAtLower);
 }
 
-// Runs simplex to optimality for `cost`. Returns final status.
-LpStatus run_simplex(Tableau& t, const std::vector<double>& cost,
-                     const SimplexOptions& opt, int& iterations) {
+void SimplexContext::set_column_bounds_from(const std::vector<double>& lo,
+                                            const std::vector<double>& hi) {
+  for (int j = 0; j < nv_; ++j) {
+    lo_[j] = lo[static_cast<std::size_t>(j)];
+    hi_[j] = hi[static_cast<std::size_t>(j)];
+  }
+}
+
+void SimplexContext::recompute_reduced_costs() {
+  std::copy(cost_.begin(), cost_.end(), d_.begin());
+  for (int i = 0; i < m_; ++i) {
+    if (!row_active_[i]) continue;
+    const double y = cost_[basis_[i]];
+    if (y == 0.0) continue;
+    const double* row = &a_[static_cast<std::size_t>(i) * n_];
+    for (int j = 0; j < n_; ++j) {
+      if (row[j] != 0.0) d_[j] -= y * row[j];
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    if (row_active_[i]) d_[basis_[i]] = 0.0;
+  }
+}
+
+void SimplexContext::recompute_basic_values() {
+  // xb = B^-1 b - sum over nonbasic j of (B^-1 A_j) * val_j; most nonbasic
+  // variables sit at 0, so collect the nonzero ones first.
+  std::vector<int> nz;
+  nz.reserve(16);
+  for (int j = 0; j < n_; ++j) {
+    if (state_[j] != VarState::kBasic && val_[j] != 0.0) nz.push_back(j);
+  }
+  for (int i = 0; i < m_; ++i) {
+    if (!row_active_[i]) continue;
+    double s = bvec_[i];
+    const double* row = &a_[static_cast<std::size_t>(i) * n_];
+    for (int j : nz) s -= row[j] * val_[j];
+    xb_[i] = s;
+  }
+}
+
+void SimplexContext::pivot(int r, int q, double entering_delta,
+                           double leave_value, VarState leave_state) {
+  // Move the other basic values along the entering direction, skipping rows
+  // with a zero pivot-column entry.
+  if (entering_delta != 0.0) {
+    for (int i = 0; i < m_; ++i) {
+      if (i == r || !row_active_[i]) continue;
+      const double aiq = at(i, q);
+      if (aiq != 0.0) xb_[i] -= aiq * entering_delta;
+    }
+  }
+  const double v_q = val_[q] + entering_delta;
+  const int leave = basis_[r];
+  if (leave >= nv_ + m_) {
+    // Artificials exit for good: fix them at zero so they never re-enter.
+    lo_[leave] = 0.0;
+    hi_[leave] = 0.0;
+    val_[leave] = 0.0;
+    state_[leave] = VarState::kAtLower;
+  } else {
+    val_[leave] = leave_value;
+    state_[leave] = leave_state;
+  }
+
+  double* rowr = &a_[static_cast<std::size_t>(r) * n_];
+  const double inv = 1.0 / rowr[q];
+  for (int j = 0; j < n_; ++j) rowr[j] *= inv;
+  rowr[q] = 1.0;  // exact
+  bvec_[r] *= inv;
+  for (int i = 0; i < m_; ++i) {
+    if (i == r || !row_active_[i]) continue;
+    double* rowi = &a_[static_cast<std::size_t>(i) * n_];
+    const double factor = rowi[q];
+    if (factor == 0.0) continue;
+    for (int j = 0; j < n_; ++j) {
+      if (rowr[j] != 0.0) rowi[j] -= factor * rowr[j];
+    }
+    rowi[q] = 0.0;  // exact
+    bvec_[i] -= factor * bvec_[r];
+  }
+  // Incremental reduced-cost update: d stays equal to cost - y·(B^-1 A).
+  const double dq = d_[q];
+  if (dq != 0.0) {
+    for (int j = 0; j < n_; ++j) {
+      if (rowr[j] != 0.0) d_[j] -= dq * rowr[j];
+    }
+  }
+  d_[q] = 0.0;  // exact
+  basis_[r] = q;
+  state_[q] = VarState::kBasic;
+  xb_[r] = v_q;
+}
+
+LpStatus SimplexContext::primal_loop(LpSolution& out, bool phase1) {
   int degenerate_run = 0;
   bool bland = false;
-  while (iterations < opt.max_iterations) {
-    PivotResult r =
-        pivot_step(t, cost, bland, /*allow_artificial_enter=*/false, opt.tol);
-    if (r.unbounded) return LpStatus::kUnbounded;
-    if (!r.moved) return LpStatus::kOptimal;
-    ++iterations;
-    if (r.degenerate) {
-      if (++degenerate_run >= opt.degenerate_switch) bland = true;
+  bool verified = false;
+  for (;;) {
+    if (out.iterations >= opt_.max_iterations) return LpStatus::kIterLimit;
+
+    // Pricing: one O(n) pass over the incrementally maintained reduced
+    // costs. A nonbasic-at-lower column improves if d < -tol (it wants to
+    // rise), an at-upper column if d > tol (it wants to fall).
+    int q = -1;
+    int dir = 0;
+    double best = opt_.tol;
+    for (int j = 0; j < n_; ++j) {
+      if (state_[j] == VarState::kBasic || fixed(j)) continue;
+      const double dj = d_[j];
+      if (state_[j] == VarState::kAtLower) {
+        if (dj < -opt_.tol) {
+          if (bland) { q = j; dir = +1; break; }
+          if (-dj > best) { best = -dj; q = j; dir = +1; }
+        }
+      } else {
+        if (dj > opt_.tol) {
+          if (bland) { q = j; dir = -1; break; }
+          if (dj > best) { best = dj; q = j; dir = -1; }
+        }
+      }
+    }
+    if (q < 0) {
+      // Confirm optimality against an exactly rebuilt reduced-cost row so
+      // incremental drift can never terminate us early.
+      if (verified) return LpStatus::kOptimal;
+      recompute_reduced_costs();
+      verified = true;
+      continue;
+    }
+    verified = false;
+
+    // Ratio test: the entering variable moves by t >= 0 in direction `dir`;
+    // basic variable i changes by -dir*a[i][q]*t and blocks at whichever of
+    // its bounds it hits first. Ties break on lowest basic-variable index.
+    int leave_row = -1;
+    double t_row = kInf;
+    for (int i = 0; i < m_; ++i) {
+      if (!row_active_[i]) continue;
+      const double aiq = at(i, q);
+      if (aiq == 0.0) continue;  // sparse skip of zero pivot-column entries
+      const double alpha = dir > 0 ? aiq : -aiq;
+      const int b = basis_[i];
+      double limit;
+      if (alpha > opt_.tol) {
+        if (!std::isfinite(lo_[b])) continue;
+        limit = (xb_[i] - lo_[b]) / alpha;
+      } else if (alpha < -opt_.tol) {
+        if (!std::isfinite(hi_[b])) continue;
+        limit = (hi_[b] - xb_[i]) / (-alpha);
+      } else {
+        continue;
+      }
+      if (limit < 0.0) limit = 0.0;  // tiny infeasibility noise -> degenerate
+      if (leave_row < 0 || limit < t_row - opt_.tol ||
+          (limit < t_row + opt_.tol && basis_[i] < basis_[leave_row])) {
+        leave_row = i;
+        t_row = limit;
+      }
+    }
+    // A boxed entering variable can also stop by flipping to its other bound.
+    double t_flip = kInf;
+    if (std::isfinite(lo_[q]) && std::isfinite(hi_[q])) t_flip = hi_[q] - lo_[q];
+
+    if (leave_row < 0 && !std::isfinite(t_flip)) {
+      LOKI_CHECK(!phase1);  // phase-1 objective is bounded below by zero
+      return LpStatus::kUnbounded;
+    }
+
+    if (leave_row < 0 || t_flip < t_row) {
+      // Bound flip: no basis change, O(m) update, still one iteration.
+      if (t_flip != 0.0) {
+        for (int i = 0; i < m_; ++i) {
+          if (!row_active_[i]) continue;
+          const double aiq = at(i, q);
+          if (aiq != 0.0) xb_[i] -= (dir > 0 ? aiq : -aiq) * t_flip;
+        }
+      }
+      if (state_[q] == VarState::kAtLower) {
+        state_[q] = VarState::kAtUpper;
+        val_[q] = hi_[q];
+      } else {
+        state_[q] = VarState::kAtLower;
+        val_[q] = lo_[q];
+      }
+      ++out.iterations;
+      ++out.bound_flips;
+      degenerate_run = 0;
+      bland = false;
+      continue;
+    }
+
+    const bool degenerate = t_row < opt_.tol;
+    const double alpha_r = dir > 0 ? at(leave_row, q) : -at(leave_row, q);
+    const int b = basis_[leave_row];
+    const double leave_value = alpha_r > 0 ? lo_[b] : hi_[b];
+    const VarState leave_state =
+        alpha_r > 0 ? VarState::kAtLower : VarState::kAtUpper;
+    pivot(leave_row, q, dir > 0 ? t_row : -t_row, leave_value, leave_state);
+    ++out.iterations;
+    if (degenerate) {
+      if (++degenerate_run >= opt_.degenerate_switch) bland = true;
     } else {
       degenerate_run = 0;
       bland = false;
     }
+    if (++since_refresh_ >= opt_.refresh_interval) {
+      recompute_reduced_costs();
+      recompute_basic_values();
+      since_refresh_ = 0;
+    }
   }
-  return LpStatus::kIterLimit;
 }
 
-}  // namespace
-
-LpSolution SimplexSolver::solve(const LpProblem& p) const {
-  const int nv = p.num_variables();
-  LpSolution out;
-  out.values.assign(nv, 0.0);
-
-  // --- Build the standard-form tableau. ---
-  // Shifted variables: x = lo + u, u >= 0.
-  std::vector<double> shift(nv);
-  for (int j = 0; j < nv; ++j) shift[j] = p.lower_bound(j);
-
-  struct Row {
-    std::vector<std::pair<int, double>> terms;
-    Relation rel;
-    double rhs;
-  };
-  std::vector<Row> rows;
-  rows.reserve(p.constraints().size() + static_cast<std::size_t>(nv));
-  for (const auto& c : p.constraints()) {
-    double rhs = c.rhs;
-    for (const auto& [var, coeff] : c.terms) rhs -= coeff * shift[var];
-    rows.push_back({c.terms, c.rel, rhs});
-  }
-  // Finite upper bounds as rows: u_j <= hi_j - lo_j.
-  for (int j = 0; j < nv; ++j) {
-    const double hi = p.upper_bound(j);
-    if (std::isfinite(hi)) {
-      const double range = hi - shift[j];
-      if (range < 0.0) {
-        out.status = LpStatus::kInfeasible;  // empty box
-        return out;
+SimplexContext::DualResult SimplexContext::dual_repair(LpSolution& out) {
+  // Bounded dual simplex: the retained basis is dual-feasible (reduced-cost
+  // signs match the nonbasic states); repeatedly kick the most-infeasible
+  // basic variable out at the bound it violates, choosing the entering
+  // column by the min |d|/|a| ratio so dual feasibility is preserved.
+  const int cycle_cap = std::max(64, 4 * m_);
+  int steps = 0;
+  for (;;) {
+    if (out.iterations >= opt_.max_iterations) return DualResult::kIterLimit;
+    int r = -1;
+    bool below = false;
+    double worst = opt_.feas_tol;
+    for (int i = 0; i < m_; ++i) {
+      if (!row_active_[i]) continue;
+      const int b = basis_[i];
+      double viol = 0.0;
+      bool this_below = false;
+      if (std::isfinite(lo_[b]) && xb_[i] < lo_[b]) {
+        viol = lo_[b] - xb_[i];
+        this_below = true;
+      } else if (std::isfinite(hi_[b]) && xb_[i] > hi_[b]) {
+        viol = xb_[i] - hi_[b];
       }
-      rows.push_back({{{j, 1.0}}, Relation::kLe, range});
+      if (viol > worst ||
+          (r >= 0 && viol == worst && basis_[i] < basis_[r])) {
+        worst = viol;
+        r = i;
+        below = this_below;
+      }
+    }
+    if (r < 0) return DualResult::kFeasible;
+    if (++steps > cycle_cap) return DualResult::kGiveUp;
+
+    const int bvar = basis_[r];
+    const double target = below ? lo_[bvar] : hi_[bvar];
+    const double* rowr = &a_[static_cast<std::size_t>(r) * n_];
+    int q = -1;
+    double best_ratio = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      if (state_[j] == VarState::kBasic || fixed(j)) continue;
+      const double arj = rowr[j];
+      if (std::abs(arj) <= opt_.tol) continue;
+      const bool at_lower = state_[j] == VarState::kAtLower;
+      const bool ok = below ? (at_lower ? arj < 0.0 : arj > 0.0)
+                            : (at_lower ? arj > 0.0 : arj < 0.0);
+      if (!ok) continue;
+      const double ratio = std::abs(d_[j]) / std::abs(arj);
+      if (q < 0 || ratio < best_ratio - opt_.tol) {
+        q = j;
+        best_ratio = ratio;
+      }
+    }
+    if (q < 0) return DualResult::kInfeasible;
+
+    const double dx = (xb_[r] - target) / rowr[q];
+    pivot(r, q, dx, target,
+          below ? VarState::kAtLower : VarState::kAtUpper);
+    ++out.iterations;
+    ++out.phase1_iterations;
+    if (++since_refresh_ >= opt_.refresh_interval) {
+      recompute_reduced_costs();
+      recompute_basic_values();
+      since_refresh_ = 0;
     }
   }
+}
 
-  const int m = static_cast<int>(rows.size());
-  // Column layout: [structural vars | slack/surplus | artificials].
-  int n_slack = 0;
-  for (const auto& r : rows) {
-    if (r.rel != Relation::kEq) ++n_slack;
+void SimplexContext::drive_out_artificials() {
+  // Basic artificials at ~0 after phase 1 either pivot out on any nonzero
+  // real column (degenerate pivot) or mark their row redundant.
+  for (int i = 0; i < m_; ++i) {
+    if (!row_active_[i]) continue;
+    if (basis_[i] < nv_ + m_) continue;
+    const double* rowi = &a_[static_cast<std::size_t>(i) * n_];
+    int enter = -1;
+    for (int j = 0; j < nv_ + m_; ++j) {
+      if (state_[j] == VarState::kBasic) continue;
+      if (std::abs(rowi[j]) > opt_.tol) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter < 0) {
+      row_active_[i] = 0;
+      continue;
+    }
+    pivot(i, enter, xb_[i] / rowi[enter], 0.0, VarState::kAtLower);
   }
-  // Artificial needed for >= rows and = rows, and for <= rows whose rhs
-  // went negative after normalization (handled below by sign flip).
-  // We normalize rhs >= 0 first, then decide.
-  for (auto& r : rows) {
-    if (r.rhs < 0.0) {
-      r.rhs = -r.rhs;
-      for (auto& [var, coeff] : r.terms) coeff = -coeff;
-      r.rel = r.rel == Relation::kLe ? Relation::kGe
-              : r.rel == Relation::kGe ? Relation::kLe
-                                       : Relation::kEq;
+}
+
+void SimplexContext::reset_cold(const std::vector<double>& lo,
+                                const std::vector<double>& hi,
+                                bool* needs_phase1) {
+  *needs_phase1 = false;
+  std::fill(a_.begin(), a_.end(), 0.0);
+  std::fill(row_active_.begin(), row_active_.end(), 1);
+  set_column_bounds_from(lo, hi);
+  for (int j = 0; j < nv_; ++j) {
+    if (std::isfinite(lo_[j])) {
+      state_[j] = VarState::kAtLower;
+      val_[j] = lo_[j];
+    } else {
+      LOKI_CHECK_MSG(std::isfinite(hi_[j]),
+                     "variable " << j << " needs at least one finite bound");
+      state_[j] = VarState::kAtUpper;
+      val_[j] = hi_[j];
     }
   }
-  n_slack = 0;
-  int n_art = 0;
-  for (const auto& r : rows) {
-    if (r.rel != Relation::kEq) ++n_slack;
-    if (r.rel != Relation::kLe) ++n_art;
-  }
+  for (int i = 0; i < m_; ++i) {
+    for (const auto& [var, coeff] : row_terms_[i]) at(i, var) += coeff;
+    const int slack = nv_ + i;
+    const int art = nv_ + m_ + i;
+    at(i, slack) = 1.0;
+    bvec_[i] = rhs_[i];
+    lo_[slack] = slack_lo_[i];
+    hi_[slack] = slack_hi_[i];
+    lo_[art] = 0.0;
+    hi_[art] = 0.0;
+    val_[art] = 0.0;
+    state_[art] = VarState::kAtLower;
 
-  Tableau t;
-  t.m = m;
-  t.n = nv + n_slack + n_art;
-  t.a.assign(static_cast<std::size_t>(t.m) * t.n, 0.0);
-  t.b.assign(m, 0.0);
-  t.basis.assign(m, -1);
-  t.artificial.assign(t.n, false);
-  t.row_active.assign(m, true);
-
-  int slack_col = nv;
-  int art_col = nv + n_slack;
-  for (int i = 0; i < m; ++i) {
-    const Row& r = rows[i];
-    for (const auto& [var, coeff] : r.terms) t.at(i, var) += coeff;
-    t.b[i] = r.rhs;
-    switch (r.rel) {
-      case Relation::kLe:
-        t.at(i, slack_col) = 1.0;
-        t.basis[i] = slack_col;
-        ++slack_col;
-        break;
-      case Relation::kGe:
-        t.at(i, slack_col) = -1.0;
-        ++slack_col;
-        t.at(i, art_col) = 1.0;
-        t.artificial[art_col] = true;
-        t.basis[i] = art_col;
-        ++art_col;
-        break;
-      case Relation::kEq:
-        t.at(i, art_col) = 1.0;
-        t.artificial[art_col] = true;
-        t.basis[i] = art_col;
-        ++art_col;
-        break;
+    double r = rhs_[i];
+    for (const auto& [var, coeff] : row_terms_[i]) r -= coeff * val_[var];
+    if (r >= lo_[slack] && r <= hi_[slack]) {
+      basis_[i] = slack;
+      xb_[i] = r;
+      state_[slack] = VarState::kBasic;
+      val_[slack] = 0.0;
+    } else {
+      // The slack basis is infeasible on this row: park the slack at its
+      // nearest bound and absorb the residual in a fresh artificial. A
+      // negative residual negates the whole row first, so the basic
+      // artificial column is +1 (canonical B^-1 A form).
+      const double sv = r < lo_[slack] ? lo_[slack] : hi_[slack];
+      state_[slack] = sv == lo_[slack] ? VarState::kAtLower
+                                       : VarState::kAtUpper;
+      val_[slack] = sv;
+      double resid = r - sv;
+      if (resid < 0.0) {
+        double* row = &a_[static_cast<std::size_t>(i) * n_];
+        for (int j = 0; j < nv_ + m_; ++j) row[j] = -row[j];
+        bvec_[i] = -bvec_[i];
+        resid = -resid;
+      }
+      at(i, art) = 1.0;
+      lo_[art] = 0.0;
+      hi_[art] = kInf;
+      basis_[i] = art;
+      xb_[i] = resid;
+      state_[art] = VarState::kBasic;
+      *needs_phase1 = true;
     }
   }
+  since_refresh_ = 0;
+}
 
-  out.iterations = 0;
+bool SimplexContext::apply_bounds_warm(const std::vector<double>& lo,
+                                       const std::vector<double>& hi) {
+  for (int j = 0; j < nv_; ++j) {
+    const double nlo = lo[static_cast<std::size_t>(j)];
+    const double nhi = hi[static_cast<std::size_t>(j)];
+    if (nlo == lo_[j] && nhi == hi_[j]) continue;
+    lo_[j] = nlo;
+    hi_[j] = nhi;
+    if (state_[j] == VarState::kBasic) continue;
+    if (nlo == nhi) {
+      state_[j] = VarState::kAtLower;
+      val_[j] = nlo;
+      continue;  // fixed: never prices in, d sign irrelevant
+    }
+    if (state_[j] == VarState::kAtUpper && !std::isfinite(nhi)) {
+      state_[j] = VarState::kAtLower;
+    } else if (state_[j] == VarState::kAtLower && !std::isfinite(nlo)) {
+      state_[j] = VarState::kAtUpper;
+    }
+    // A state flip may break the reduced-cost sign; solve_with_bounds
+    // repairs that with a temporary cost shift, so only a variable with no
+    // finite bound at all forces a cold solve.
+    if (state_[j] == VarState::kAtLower) {
+      if (!std::isfinite(nlo)) return false;
+      val_[j] = nlo;
+    } else {
+      if (!std::isfinite(nhi)) return false;
+      val_[j] = nhi;
+    }
+  }
+  recompute_basic_values();
+  return true;
+}
 
-  // --- Phase 1: minimize sum of artificials. ---
-  if (n_art > 0) {
-    std::vector<double> phase1_cost(t.n, 0.0);
-    for (int j = nv + n_slack; j < t.n; ++j) phase1_cost[j] = 1.0;
-    // Phase 1 must allow artificials to *leave*; they are already basic.
-    int iters = out.iterations;
-    LpStatus s = run_simplex(t, phase1_cost, options_, iters);
-    out.iterations = iters;
-    if (s == LpStatus::kIterLimit) {
-      out.status = LpStatus::kIterLimit;
+void SimplexContext::extract(LpSolution& out) {
+  recompute_basic_values();
+  for (int j = 0; j < nv_; ++j) {
+    out.values[j] = state_[j] == VarState::kBasic ? 0.0 : val_[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    if (row_active_[i] && basis_[i] < nv_) out.values[basis_[i]] = xb_[i];
+  }
+  double obj = obj_offset_;
+  for (int j = 0; j < nv_; ++j) {
+    double v = out.values[j];
+    // Clean tiny noise against the solve bounds.
+    if (std::isfinite(lo_[j])) v = std::max(v, lo_[j]);
+    if (std::isfinite(hi_[j])) v = std::min(v, hi_[j]);
+    out.values[j] = v;
+    obj += obj_[j] * v;
+  }
+  out.objective = obj;
+}
+
+LpSolution SimplexContext::solve() {
+  return solve_with_bounds(base_lo_, base_hi_);
+}
+
+LpSolution SimplexContext::solve_with_bounds(const std::vector<double>& lo,
+                                             const std::vector<double>& hi) {
+  LOKI_CHECK(static_cast<int>(lo.size()) == nv_ &&
+             static_cast<int>(hi.size()) == nv_);
+  LpSolution out;
+  out.values.assign(static_cast<std::size_t>(nv_), 0.0);
+  for (int j = 0; j < nv_; ++j) {
+    if (lo[static_cast<std::size_t>(j)] > hi[static_cast<std::size_t>(j)]) {
+      out.status = LpStatus::kInfeasible;  // empty box, tableau untouched
       return out;
     }
-    LOKI_CHECK(s != LpStatus::kUnbounded);  // phase-1 objective bounded below
-    double art_sum = 0.0;
-    for (int i = 0; i < m; ++i) {
-      if (t.artificial[t.basis[i]]) art_sum += t.b[i];
+  }
+
+  if (basis_dual_feasible_ && apply_bounds_warm(lo, hi)) {
+    out.warm_started = true;
+    // Bound relaxations can flip a nonbasic variable to its other bound and
+    // leave its reduced cost with the wrong sign. Shift those costs to zero
+    // so the dual ratio test stays valid; the true costs come back (with an
+    // exact reduced-cost rebuild) before the finishing primal pass, which
+    // starts primal-feasible and therefore needs no dual feasibility.
+    std::vector<std::pair<int, double>> shifts;
+    for (int j = 0; j < n_; ++j) {
+      if (state_[j] == VarState::kBasic || fixed(j)) continue;
+      const double dj = d_[j];
+      const bool broken = state_[j] == VarState::kAtLower ? dj < -opt_.tol
+                                                          : dj > opt_.tol;
+      if (broken) {
+        shifts.emplace_back(j, dj);
+        cost_[j] -= dj;
+        d_[j] = 0.0;
+      }
     }
-    if (art_sum > options_.feas_tol) {
+    const auto restore_shifts = [&] {
+      if (shifts.empty()) return;
+      for (const auto& [j, s] : shifts) cost_[j] += s;
+      recompute_reduced_costs();
+    };
+    switch (dual_repair(out)) {
+      case DualResult::kInfeasible:
+        // Primal infeasibility is independent of the (possibly shifted)
+        // cost, so the verdict stands. Without shifts the basis stayed
+        // dual-feasible and branch-and-bound siblings can keep reusing it.
+        restore_shifts();
+        basis_dual_feasible_ = shifts.empty();
+        out.status = LpStatus::kInfeasible;
+        return out;
+      case DualResult::kIterLimit:
+        basis_dual_feasible_ = false;
+        out.status = LpStatus::kIterLimit;
+        return out;
+      case DualResult::kFeasible: {
+        restore_shifts();
+        const LpStatus s = primal_loop(out, /*phase1=*/false);
+        out.status = s;
+        if (s == LpStatus::kOptimal) {
+          extract(out);
+        } else {
+          basis_dual_feasible_ = false;
+        }
+        return out;
+      }
+      case DualResult::kGiveUp:
+        out.warm_started = false;
+        break;  // fall through to a cold solve on the same bounds
+    }
+  }
+
+  basis_dual_feasible_ = false;
+  bool needs_phase1 = false;
+  reset_cold(lo, hi, &needs_phase1);
+
+  if (needs_phase1) {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = nv_ + m_; j < n_; ++j) cost_[j] = 1.0;
+    recompute_reduced_costs();
+    const int before = out.iterations;
+    const LpStatus s = primal_loop(out, /*phase1=*/true);
+    out.phase1_iterations += out.iterations - before;
+    if (s == LpStatus::kIterLimit) {
+      out.status = s;
+      return out;
+    }
+    double art_sum = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (row_active_[i] && basis_[i] >= nv_ + m_) {
+        art_sum += std::max(0.0, xb_[i]);
+      }
+    }
+    if (art_sum > opt_.feas_tol) {
       out.status = LpStatus::kInfeasible;
       return out;
     }
-    // Drive remaining basic artificials (at value ~0) out of the basis.
-    for (int i = 0; i < m; ++i) {
-      if (!t.artificial[t.basis[i]]) continue;
-      int enter = -1;
-      for (int j = 0; j < nv + n_slack; ++j) {
-        if (std::abs(t.at(i, j)) > options_.tol) {
-          enter = j;
-          break;
-        }
+    drive_out_artificials();
+    for (int j = nv_ + m_; j < n_; ++j) {
+      lo_[j] = 0.0;
+      hi_[j] = 0.0;
+      if (state_[j] != VarState::kBasic) {
+        val_[j] = 0.0;
+        state_[j] = VarState::kAtLower;
       }
-      if (enter < 0) {
-        // Row is redundant (all-zero over real columns): deactivate.
-        t.row_active[i] = false;
-        continue;
-      }
-      const double piv = t.at(i, enter);
-      const double inv = 1.0 / piv;
-      for (int j = 0; j < t.n; ++j) t.at(i, j) *= inv;
-      t.b[i] *= inv;
-      for (int i2 = 0; i2 < m; ++i2) {
-        if (i2 == i || !t.row_active[i2]) continue;
-        const double factor = t.at(i2, enter);
-        if (factor == 0.0) continue;
-        for (int j = 0; j < t.n; ++j) t.at(i2, j) -= factor * t.at(i, j);
-        t.b[i2] -= factor * t.b[i];
-      }
-      t.basis[i] = enter;
     }
   }
 
-  // --- Phase 2: optimize the real objective (canonical min form). ---
-  const double sign = p.sense() == Sense::kMinimize ? 1.0 : -1.0;
-  t.cost.assign(t.n, 0.0);
-  for (int j = 0; j < nv; ++j) t.cost[j] = sign * p.objective_coeff(j);
-
-  int iters = out.iterations;
-  LpStatus s = run_simplex(t, t.cost, options_, iters);
-  out.iterations = iters;
-  if (s == LpStatus::kUnbounded) {
-    out.status = LpStatus::kUnbounded;
-    return out;
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  for (int j = 0; j < nv_; ++j) cost_[j] = sign_ * obj_[j];
+  recompute_reduced_costs();
+  const LpStatus s = primal_loop(out, /*phase1=*/false);
+  out.status = s;
+  if (s == LpStatus::kOptimal) {
+    extract(out);
+    basis_dual_feasible_ = true;
   }
-  if (s == LpStatus::kIterLimit) {
-    out.status = LpStatus::kIterLimit;
-    return out;
-  }
-
-  // Extract solution (undo the lower-bound shift).
-  std::vector<double> u(t.n, 0.0);
-  for (int i = 0; i < m; ++i) {
-    if (t.row_active[i]) u[t.basis[i]] = t.b[i];
-  }
-  for (int j = 0; j < nv; ++j) {
-    double v = shift[j] + u[j];
-    // Clean tiny negative noise against bounds.
-    v = std::max(v, p.lower_bound(j));
-    if (std::isfinite(p.upper_bound(j))) v = std::min(v, p.upper_bound(j));
-    out.values[j] = v;
-  }
-  out.objective = p.objective_value(out.values);
-  out.status = LpStatus::kOptimal;
   return out;
+}
+
+LpSolution SimplexSolver::solve(const LpProblem& p) const {
+  SimplexContext ctx(p, options_);
+  return ctx.solve();
 }
 
 }  // namespace loki::solver

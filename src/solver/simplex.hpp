@@ -1,14 +1,27 @@
-// Dense two-phase primal simplex solver.
+// Bounded-variable primal/dual simplex solver.
 //
 // Solves the LP relaxation of the Resource Manager's allocation models.
 // Design notes:
-//  * tableau form with a dense row-major matrix — the allocation LPs are a
-//    few hundred rows/columns, where dense beats sparse bookkeeping;
-//  * two-phase method with explicit artificial variables, so infeasibility
-//    is detected exactly (the hardware-scaling step *relies* on a clean
-//    infeasible verdict to trigger accuracy scaling, §4.1 step 1);
+//  * bounded-variable tableau: variable boxes [lo, hi] are handled natively
+//    with nonbasic-at-bound bookkeeping, so finite upper bounds cost nothing
+//    (the seed solver materialized each one as an extra tableau row, which
+//    doubled m on the all-integer allocation LPs);
+//  * the reduced-cost row is maintained incrementally across pivots, so
+//    pricing is O(n) per pivot instead of O(m*n); it is rebuilt exactly
+//    every `refresh_interval` pivots and before declaring optimality, which
+//    keeps the fast path honest numerically;
+//  * two-phase method with explicit artificial columns only on rows whose
+//    initial slack basis is infeasible, so infeasibility is detected exactly
+//    (the hardware-scaling step *relies* on a clean infeasible verdict to
+//    trigger accuracy scaling, §4.1 step 1);
 //  * Dantzig pricing with an automatic switch to Bland's rule after a run of
-//    degenerate pivots, guaranteeing termination.
+//    degenerate pivots, guaranteeing termination; all tie-breaks are
+//    lowest-index and therefore deterministic;
+//  * SimplexContext keeps the standard form and the final basis alive
+//    between solves: bounds can be swapped (branch-and-bound nodes are pure
+//    bound overlays) and the next solve warm-starts with a bounded dual
+//    simplex from the previous optimal basis, typically finishing in a
+//    handful of pivots instead of a full phase-1 + phase-2 run.
 #pragma once
 
 #include <string>
@@ -26,17 +39,104 @@ struct LpSolution {
   LpStatus status = LpStatus::kIterLimit;
   double objective = 0.0;            // includes the problem's offset
   std::vector<double> values;        // one per problem variable
-  int iterations = 0;                // total simplex pivots (both phases)
+  int iterations = 0;                // total pivots + bound flips (all phases)
+  int phase1_iterations = 0;         // pivots spent restoring feasibility
+                                     // (phase 1, or dual repair on warm start)
+  int bound_flips = 0;               // nonbasic bound-to-bound moves
+  bool warm_started = false;         // solved from a reused basis
 };
 
 struct SimplexOptions {
   int max_iterations = 50000;
   double tol = 1e-9;            // pivot / zero tolerance
-  double feas_tol = 1e-7;       // phase-1 residual treated as feasible
+  double feas_tol = 1e-7;       // bound violation treated as feasible
   int degenerate_switch = 64;   // consecutive degenerate pivots before Bland
+  int refresh_interval = 128;   // pivots between exact tableau-state rebuilds
+};
+
+/// A reusable standard-form instance: the constraint matrix, slack columns
+/// and (lazily used) artificial columns are built once from an LpProblem;
+/// variable bounds are swappable between solves. After an optimal (or
+/// dual-simplex-proven infeasible) solve the final basis is retained and the
+/// next solve_with_bounds() warm-starts from it.
+class SimplexContext {
+ public:
+  explicit SimplexContext(const LpProblem& problem,
+                          SimplexOptions options = {});
+
+  /// Solves with the problem's own bounds (cold or warm).
+  LpSolution solve();
+
+  /// Solves with overridden structural-variable bounds (both vectors sized
+  /// num_variables()). Lower bounds must be finite; lo > hi for any variable
+  /// yields kInfeasible without touching the tableau.
+  LpSolution solve_with_bounds(const std::vector<double>& lo,
+                               const std::vector<double>& hi);
+
+  int num_variables() const { return nv_; }
+  int num_rows() const { return m_; }
+  /// True if the next solve can warm-start from the retained basis.
+  bool has_warm_basis() const { return basis_dual_feasible_; }
+
+ private:
+  enum class VarState : unsigned char { kAtLower, kAtUpper, kBasic };
+  enum class DualResult : unsigned char {
+    kFeasible,    // primal feasibility restored; basis stayed dual-feasible
+    kInfeasible,  // a violated row cannot be repaired: LP is infeasible
+    kIterLimit,   // global pivot budget exhausted
+    kGiveUp,      // cycling guard tripped; caller should cold-solve
+  };
+
+  double& at(int i, int j) { return a_[static_cast<std::size_t>(i) * n_ + j]; }
+  double at(int i, int j) const {
+    return a_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  bool fixed(int j) const { return lo_[j] == hi_[j]; }
+
+  void set_column_bounds_from(const std::vector<double>& lo,
+                              const std::vector<double>& hi);
+  bool apply_bounds_warm(const std::vector<double>& lo,
+                         const std::vector<double>& hi);
+  void reset_cold(const std::vector<double>& lo, const std::vector<double>& hi,
+                  bool* needs_phase1);
+  void recompute_reduced_costs();
+  void recompute_basic_values();
+  void pivot(int row, int col, double entering_delta, double leave_value,
+             VarState leave_state);
+  LpStatus primal_loop(LpSolution& out, bool phase1);
+  DualResult dual_repair(LpSolution& out);
+  void drive_out_artificials();
+  void extract(LpSolution& out);
+
+  SimplexOptions opt_;
+  // Problem statement (immutable after construction).
+  double sign_ = 1.0;  // +1 minimize, -1 maximize (internal form minimizes)
+  double obj_offset_ = 0.0;
+  int nv_ = 0;  // structural variables
+  int m_ = 0;   // rows
+  int n_ = 0;   // columns: nv_ structural + m_ slacks + m_ artificials
+  std::vector<double> obj_;  // per structural var, problem sense
+  std::vector<double> base_lo_, base_hi_;
+  std::vector<std::vector<std::pair<int, double>>> row_terms_;
+  std::vector<double> rhs_;
+  std::vector<double> slack_lo_, slack_hi_;
+  // Tableau state (mutated by solves).
+  std::vector<double> a_;     // m_ x n_, row-major: B^-1 A
+  std::vector<double> bvec_;  // B^-1 b, maintained incrementally
+  std::vector<double> xb_;    // value of the basic variable per row
+  std::vector<double> d_;     // reduced costs, maintained incrementally
+  std::vector<double> cost_;  // current phase cost per column
+  std::vector<int> basis_;
+  std::vector<char> row_active_;  // redundant rows disabled after phase 1
+  std::vector<double> lo_, hi_;   // per column (solve bounds for structural)
+  std::vector<double> val_;       // nonbasic variables: their bound value
+  std::vector<VarState> state_;
+  bool basis_dual_feasible_ = false;
+  int since_refresh_ = 0;
 };
 
 /// Solves the continuous relaxation of `problem` (integrality ignored).
+/// One-shot facade over SimplexContext.
 class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}

@@ -121,6 +121,54 @@ TEST(Simulation, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(sim.step());
 }
 
+TEST(Simulation, RunUntilDoesNotFirePastEndOverCancelledHead) {
+  // Regression: a cancelled entry at the queue head with t <= t_end must not
+  // make run_until execute the *next* event when that event lies past t_end.
+  Simulation sim;
+  int fired_at_5 = 0;
+  auto id = sim.schedule_at(1.0, []() {});
+  sim.schedule_at(5.0, [&]() { ++fired_at_5; });
+  sim.cancel(id);
+  sim.run_until(3.0);
+  EXPECT_EQ(fired_at_5, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run_until(6.0);
+  EXPECT_EQ(fired_at_5, 1);
+}
+
+TEST(Simulation, RunUntilPurgesCancelledHeads) {
+  // Cancelled entries at or before t_end are dropped from the heap by
+  // run_until even when no live event fires.
+  Simulation sim;
+  std::vector<Simulation::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule_at(1.0 + i, []() {}));
+  }
+  for (const auto& id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(20.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.processed(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+TEST(Simulation, MassCancellationDoesNotAccumulateTombstones) {
+  // A rearmed-timeout workload: schedule far-future events and cancel them
+  // immediately. The heap must compact instead of growing without bound,
+  // and live events must keep firing in order.
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1e6, [&]() { ++fired; });
+  for (int i = 0; i < 10000; ++i) {
+    auto id = sim.schedule_at(1e5 + i, []() {});
+    sim.cancel(id);
+    EXPECT_EQ(sim.pending(), 1u);
+  }
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.processed(), 1u);
+}
+
 TEST(Simulation, HeavySelfSchedulingIsStable) {
   // A self-rescheduling periodic event plus churn: counts must be exact.
   Simulation sim;

@@ -1,10 +1,13 @@
 // Additional solver hardening tests: numerically awkward LPs, structured
-// MILPs shaped like the Resource Manager's models, and solver-option
-// behaviour (iteration limits, Bland switch, gap reporting).
+// MILPs shaped like the Resource Manager's models, solver-option behaviour
+// (iteration limits, Bland switch, gap reporting), and a seeded randomized
+// differential suite checking the bounded-variable solver against an
+// embedded copy of the seed dense two-phase simplex.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "solver/milp.hpp"
 #include "solver/simplex.hpp"
@@ -216,6 +219,465 @@ TEST_P(SimplexRandom3D, FeasibleAndNoWorseThanGrid) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom3D, ::testing::Range(0, 30));
+
+// ---------------------------------------------------------------------------
+// Seeded randomized differential suite: the bounded-variable solver vs an
+// embedded copy of the seed dense two-phase simplex (upper bounds
+// materialized as rows, full reduced-cost rescan per pivot). The reference
+// is slow but was validated by the seed test matrix; the production solver
+// must match its status and optimal objective on every generated problem.
+// ---------------------------------------------------------------------------
+
+namespace seedref {
+
+struct Tableau {
+  int m = 0;
+  int n = 0;
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<int> basis;
+  std::vector<bool> artificial;
+  std::vector<bool> row_active;
+
+  double& at(int i, int j) { return a[static_cast<std::size_t>(i) * n + j]; }
+  double at(int i, int j) const {
+    return a[static_cast<std::size_t>(i) * n + j];
+  }
+};
+
+struct PivotResult {
+  bool moved = false;
+  bool unbounded = false;
+  bool degenerate = false;
+};
+
+inline PivotResult pivot_step(Tableau& t, const std::vector<double>& cost,
+                              bool bland, double tol) {
+  int enter = -1;
+  double best = -tol;
+  for (int j = 0; j < t.n; ++j) {
+    if (t.artificial[j]) continue;
+    bool is_basic = false;
+    double d = cost[j];
+    for (int i = 0; i < t.m; ++i) {
+      if (!t.row_active[i]) continue;
+      const double aij = t.at(i, j);
+      if (aij != 0.0) d -= cost[t.basis[i]] * aij;
+      if (t.basis[i] == j) is_basic = true;
+    }
+    if (is_basic) continue;
+    if (bland) {
+      if (d < -tol) {
+        enter = j;
+        break;
+      }
+    } else if (d < best) {
+      best = d;
+      enter = j;
+    }
+  }
+  if (enter < 0) return {};
+
+  int leave_row = -1;
+  double best_ratio = 0.0;
+  for (int i = 0; i < t.m; ++i) {
+    if (!t.row_active[i]) continue;
+    const double aij = t.at(i, enter);
+    if (aij > tol) {
+      const double ratio = t.b[i] / aij;
+      if (leave_row < 0 || ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol && t.basis[i] < t.basis[leave_row])) {
+        leave_row = i;
+        best_ratio = ratio;
+      }
+    }
+  }
+  if (leave_row < 0) return {.moved = false, .unbounded = true};
+
+  const bool degenerate = best_ratio < tol;
+  const double inv = 1.0 / t.at(leave_row, enter);
+  for (int j = 0; j < t.n; ++j) t.at(leave_row, j) *= inv;
+  t.b[leave_row] *= inv;
+  t.at(leave_row, enter) = 1.0;
+  for (int i = 0; i < t.m; ++i) {
+    if (i == leave_row || !t.row_active[i]) continue;
+    const double factor = t.at(i, enter);
+    if (factor == 0.0) continue;
+    for (int j = 0; j < t.n; ++j) t.at(i, j) -= factor * t.at(leave_row, j);
+    t.at(i, enter) = 0.0;
+    t.b[i] -= factor * t.b[leave_row];
+    if (t.b[i] < 0.0 && t.b[i] > -tol) t.b[i] = 0.0;
+  }
+  t.basis[leave_row] = enter;
+  return {.moved = true, .unbounded = false, .degenerate = degenerate};
+}
+
+inline LpStatus run_simplex(Tableau& t, const std::vector<double>& cost,
+                            const SimplexOptions& opt, int& iterations) {
+  int degenerate_run = 0;
+  bool bland = false;
+  while (iterations < opt.max_iterations) {
+    PivotResult r = pivot_step(t, cost, bland, opt.tol);
+    if (r.unbounded) return LpStatus::kUnbounded;
+    if (!r.moved) return LpStatus::kOptimal;
+    ++iterations;
+    if (r.degenerate) {
+      if (++degenerate_run >= opt.degenerate_switch) bland = true;
+    } else {
+      degenerate_run = 0;
+      bland = false;
+    }
+  }
+  return LpStatus::kIterLimit;
+}
+
+inline LpSolution solve(const LpProblem& p, SimplexOptions options = {}) {
+  const int nv = p.num_variables();
+  LpSolution out;
+  out.values.assign(nv, 0.0);
+
+  std::vector<double> shift(nv);
+  for (int j = 0; j < nv; ++j) shift[j] = p.lower_bound(j);
+
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  for (const auto& c : p.constraints()) {
+    double rhs = c.rhs;
+    for (const auto& [var, coeff] : c.terms) rhs -= coeff * shift[var];
+    rows.push_back({c.terms, c.rel, rhs});
+  }
+  for (int j = 0; j < nv; ++j) {
+    const double hi = p.upper_bound(j);
+    if (std::isfinite(hi)) {
+      const double range = hi - shift[j];
+      if (range < 0.0) {
+        out.status = LpStatus::kInfeasible;
+        return out;
+      }
+      rows.push_back({{{j, 1.0}}, Relation::kLe, range});
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  for (auto& r : rows) {
+    if (r.rhs < 0.0) {
+      r.rhs = -r.rhs;
+      for (auto& [var, coeff] : r.terms) coeff = -coeff;
+      r.rel = r.rel == Relation::kLe ? Relation::kGe
+              : r.rel == Relation::kGe ? Relation::kLe
+                                       : Relation::kEq;
+    }
+  }
+  int n_slack = 0;
+  int n_art = 0;
+  for (const auto& r : rows) {
+    if (r.rel != Relation::kEq) ++n_slack;
+    if (r.rel != Relation::kLe) ++n_art;
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n = nv + n_slack + n_art;
+  t.a.assign(static_cast<std::size_t>(t.m) * t.n, 0.0);
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, -1);
+  t.artificial.assign(t.n, false);
+  t.row_active.assign(m, true);
+
+  int slack_col = nv;
+  int art_col = nv + n_slack;
+  for (int i = 0; i < m; ++i) {
+    const Row& r = rows[i];
+    for (const auto& [var, coeff] : r.terms) t.at(i, var) += coeff;
+    t.b[i] = r.rhs;
+    switch (r.rel) {
+      case Relation::kLe:
+        t.at(i, slack_col) = 1.0;
+        t.basis[i] = slack_col;
+        ++slack_col;
+        break;
+      case Relation::kGe:
+        t.at(i, slack_col) = -1.0;
+        ++slack_col;
+        t.at(i, art_col) = 1.0;
+        t.artificial[art_col] = true;
+        t.basis[i] = art_col;
+        ++art_col;
+        break;
+      case Relation::kEq:
+        t.at(i, art_col) = 1.0;
+        t.artificial[art_col] = true;
+        t.basis[i] = art_col;
+        ++art_col;
+        break;
+    }
+  }
+
+  out.iterations = 0;
+  if (n_art > 0) {
+    std::vector<double> phase1_cost(t.n, 0.0);
+    for (int j = nv + n_slack; j < t.n; ++j) phase1_cost[j] = 1.0;
+    int iters = out.iterations;
+    LpStatus s = run_simplex(t, phase1_cost, options, iters);
+    out.iterations = iters;
+    if (s == LpStatus::kIterLimit) {
+      out.status = LpStatus::kIterLimit;
+      return out;
+    }
+    LOKI_CHECK(s != LpStatus::kUnbounded);
+    double art_sum = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (t.artificial[t.basis[i]]) art_sum += t.b[i];
+    }
+    if (art_sum > options.feas_tol) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    for (int i = 0; i < m; ++i) {
+      if (!t.artificial[t.basis[i]]) continue;
+      int enter = -1;
+      for (int j = 0; j < nv + n_slack; ++j) {
+        if (std::abs(t.at(i, j)) > options.tol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) {
+        t.row_active[i] = false;
+        continue;
+      }
+      const double inv = 1.0 / t.at(i, enter);
+      for (int j = 0; j < t.n; ++j) t.at(i, j) *= inv;
+      t.b[i] *= inv;
+      for (int i2 = 0; i2 < m; ++i2) {
+        if (i2 == i || !t.row_active[i2]) continue;
+        const double factor = t.at(i2, enter);
+        if (factor == 0.0) continue;
+        for (int j = 0; j < t.n; ++j) t.at(i2, j) -= factor * t.at(i, j);
+        t.b[i2] -= factor * t.b[i];
+      }
+      t.basis[i] = enter;
+    }
+  }
+
+  const double sign = p.sense() == Sense::kMinimize ? 1.0 : -1.0;
+  std::vector<double> cost(t.n, 0.0);
+  for (int j = 0; j < nv; ++j) cost[j] = sign * p.objective_coeff(j);
+
+  int iters = out.iterations;
+  LpStatus s = run_simplex(t, cost, options, iters);
+  out.iterations = iters;
+  if (s != LpStatus::kOptimal) {
+    out.status = s;
+    return out;
+  }
+
+  std::vector<double> u(t.n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (t.row_active[i]) u[t.basis[i]] = t.b[i];
+  }
+  for (int j = 0; j < nv; ++j) {
+    double v = shift[j] + u[j];
+    v = std::max(v, p.lower_bound(j));
+    if (std::isfinite(p.upper_bound(j))) v = std::min(v, p.upper_bound(j));
+    out.values[j] = v;
+  }
+  out.objective = p.objective_value(out.values);
+  out.status = LpStatus::kOptimal;
+  return out;
+}
+
+}  // namespace seedref
+
+// Random LP generator shared by the differential tests: mixed relations,
+// finite/infinite boxes, nonzero lower bounds, occasional duplicated rows
+// (degeneracy) and over-constrained systems (infeasibility).
+LpProblem random_lp(Rng& rng) {
+  LpProblem p(rng.bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize);
+  const int nvars = 2 + static_cast<int>(rng.uniform_index(4));  // 2..5
+  for (int j = 0; j < nvars; ++j) {
+    const double lo = rng.bernoulli(0.3) ? rng.uniform(-4.0, 2.0) : 0.0;
+    const double hi =
+        rng.bernoulli(0.35) ? kInf : lo + rng.uniform(0.5, 10.0);
+    p.add_variable("x" + std::to_string(j), lo, hi, rng.uniform(-4.0, 4.0));
+  }
+  const int rows = 1 + static_cast<int>(rng.uniform_index(4));  // 1..4
+  for (int c = 0; c < rows; ++c) {
+    Constraint con;
+    for (int j = 0; j < nvars; ++j) {
+      if (rng.bernoulli(0.8)) con.terms.push_back({j, rng.uniform(-3.0, 3.0)});
+    }
+    if (con.terms.empty()) con.terms.push_back({0, 1.0});
+    const double u = rng.uniform();
+    con.rel = u < 0.5 ? Relation::kLe : u < 0.85 ? Relation::kGe
+                                                 : Relation::kEq;
+    con.rhs = rng.uniform(-6.0, 10.0);
+    p.add_constraint(con);
+    if (rng.bernoulli(0.15)) {
+      // Duplicate the row (possibly scaled) to manufacture degeneracy /
+      // redundant equalities.
+      Constraint dup = con;
+      const double scale = rng.bernoulli(0.5) ? 1.0 : 2.0;
+      for (auto& [var, coeff] : dup.terms) coeff *= scale;
+      dup.rhs *= scale;
+      p.add_constraint(std::move(dup));
+    }
+  }
+  return p;
+}
+
+class SolverDifferentialLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDifferentialLp, MatchesSeedReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 101);
+  LpProblem p = random_lp(rng);
+  const auto ref = seedref::solve(p);
+  const auto got = SimplexSolver().solve(p);
+  ASSERT_NE(ref.status, LpStatus::kIterLimit) << p.to_string();
+  ASSERT_EQ(got.status, ref.status)
+      << "new=" << to_string(got.status) << " seed=" << to_string(ref.status)
+      << "\n" << p.to_string();
+  if (ref.status != LpStatus::kOptimal) return;
+  EXPECT_TRUE(p.is_feasible(got.values, 1e-5)) << p.to_string();
+  // LP optima are unique in value: the new solver must be equal-or-better
+  // (in the problem's sense) and cannot beat a true optimum materially.
+  const double tol = 1e-5 * std::max(1.0, std::abs(ref.objective));
+  if (p.sense() == Sense::kMaximize) {
+    EXPECT_GE(got.objective, ref.objective - tol) << p.to_string();
+    EXPECT_LE(got.objective, ref.objective + tol) << p.to_string();
+  } else {
+    EXPECT_LE(got.objective, ref.objective + tol) << p.to_string();
+    EXPECT_GE(got.objective, ref.objective - tol) << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialLp, ::testing::Range(0, 110));
+
+// Warm-start differential: a SimplexContext re-solved under a sequence of
+// tightening bound overlays (exactly the branch-and-bound access pattern)
+// must agree with a cold solve of the equivalent problem at every step.
+class SolverDifferentialWarm : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDifferentialWarm, BoundOverlayResolvesMatchColdSolves) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6271 + 17);
+  LpProblem p = random_lp(rng);
+  const int nv = p.num_variables();
+  SimplexContext ctx(p);
+  std::vector<double> lo(nv), hi(nv);
+  for (int j = 0; j < nv; ++j) {
+    lo[j] = p.lower_bound(j);
+    hi[j] = p.upper_bound(j);
+  }
+  auto first = ctx.solve();
+  {
+    const auto cold = seedref::solve(p);
+    ASSERT_EQ(first.status, cold.status) << p.to_string();
+  }
+  for (int step = 0; step < 6; ++step) {
+    // Tighten a random variable the way branching does: floor the upper
+    // bound or raise the lower bound around a point in the current box.
+    const int j = static_cast<int>(rng.uniform_index(nv));
+    const double span = std::isfinite(hi[j]) ? hi[j] - lo[j] : 4.0;
+    const double cut = lo[j] + rng.uniform(0.0, span);
+    if (rng.bernoulli(0.5)) {
+      hi[j] = std::floor(cut);
+      if (hi[j] < lo[j]) hi[j] = lo[j];
+    } else {
+      lo[j] = std::min(std::ceil(cut), hi[j]);
+    }
+    LpProblem q = p;
+    for (int v = 0; v < nv; ++v) q.set_bounds(v, lo[v], hi[v]);
+    const auto cold = seedref::solve(q);
+    const auto warm = ctx.solve_with_bounds(lo, hi);
+    ASSERT_NE(cold.status, LpStatus::kIterLimit) << q.to_string();
+    ASSERT_EQ(warm.status, cold.status)
+        << "step " << step << " warm=" << to_string(warm.status)
+        << " cold=" << to_string(cold.status) << "\n" << q.to_string();
+    if (cold.status != LpStatus::kOptimal) continue;
+    EXPECT_TRUE(q.is_feasible(warm.values, 1e-5)) << q.to_string();
+    const double tol = 1e-5 * std::max(1.0, std::abs(cold.objective));
+    EXPECT_NEAR(warm.objective, cold.objective, tol)
+        << "step " << step << "\n" << q.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialWarm,
+                         ::testing::Range(0, 40));
+
+// Random MILP generator + exhaustive integer-box enumeration reference.
+class SolverDifferentialMilp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDifferentialMilp, MatchesExhaustiveEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 4409 + 23);
+  const int nvars = 2 + static_cast<int>(rng.uniform_index(2));  // 2..3
+  const int ub = 2 + static_cast<int>(rng.uniform_index(4));     // 2..5
+  LpProblem p(rng.bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize);
+  for (int j = 0; j < nvars; ++j) {
+    p.add_variable("x" + std::to_string(j), 0, ub, rng.uniform(-5.0, 5.0),
+                   rng.bernoulli(0.8) ? VarType::kInteger
+                                      : VarType::kContinuous);
+  }
+  const int rows = 1 + static_cast<int>(rng.uniform_index(3));
+  for (int c = 0; c < rows; ++c) {
+    Constraint con;
+    for (int j = 0; j < nvars; ++j) {
+      con.terms.push_back({j, rng.uniform(-3.0, 3.0)});
+    }
+    const double u = rng.uniform();
+    con.rel = u < 0.6 ? Relation::kLe : u < 0.9 ? Relation::kGe
+                                                : Relation::kEq;
+    con.rhs = rng.uniform(-5.0, 12.0);
+    p.add_constraint(std::move(con));
+  }
+
+  // Reference: enumerate integer assignments; for each, solve the remaining
+  // continuous variables with the (already differentially validated) seed
+  // LP reference by fixing the integer bounds.
+  bool any = false;
+  double ref = 0.0;
+  std::vector<int> ivars, cvars;
+  for (int j = 0; j < nvars; ++j) {
+    (p.var_type(j) == VarType::kInteger ? ivars : cvars).push_back(j);
+  }
+  const int total = static_cast<int>(
+      std::pow(ub + 1, static_cast<double>(ivars.size())));
+  for (int code = 0; code < total; ++code) {
+    LpProblem q = p;
+    int rem = code;
+    for (int idx : ivars) {
+      const double v = rem % (ub + 1);
+      rem /= (ub + 1);
+      q.set_bounds(idx, v, v);
+    }
+    const auto sub = seedref::solve(q);
+    if (sub.status != LpStatus::kOptimal) continue;
+    const double v = sub.objective;
+    const bool better = p.sense() == Sense::kMaximize ? v > ref : v < ref;
+    if (!any || better) ref = v;
+    any = true;
+  }
+
+  const auto s = BranchAndBound().solve(p);
+  if (!any) {
+    EXPECT_EQ(s.status, MilpStatus::kInfeasible) << p.to_string();
+    return;
+  }
+  ASSERT_EQ(s.status, MilpStatus::kOptimal)
+      << to_string(s.status) << "\n" << p.to_string();
+  EXPECT_TRUE(p.is_feasible(s.values, 1e-5)) << p.to_string();
+  EXPECT_NEAR(s.objective, ref, 1e-5 * std::max(1.0, std::abs(ref)))
+      << p.to_string();
+  // The warm-start machinery must actually engage: every explored node
+  // after the first re-uses the shared basis unless it had to cold-solve.
+  EXPECT_EQ(s.nodes_explored, s.warm_start_hits + s.cold_solves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialMilp,
+                         ::testing::Range(0, 50));
 
 }  // namespace
 }  // namespace loki::solver
