@@ -54,9 +54,7 @@ int main(int argc, char** argv) {
   tcfg.seed = 2024;
   const auto curve = trace::generate_trace(tcfg);
 
-  const exp::SystemKind kinds[] = {exp::SystemKind::kLoki,
-                                   exp::SystemKind::kInferLine,
-                                   exp::SystemKind::kProteus};
+  const char* kinds[] = {"loki-milp", "inferline", "proteus"};
   std::vector<exp::ExperimentResult> results(3);
   ThreadPool pool(3);
   pool.parallel_for(3, [&](std::size_t i) {

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   ThreadPool pool(4);
   pool.parallel_for(4, [&](std::size_t i) {
     exp::ExperimentConfig cfg;
-    cfg.system = exp::SystemKind::kLoki;
+    cfg.system = "loki-milp";
     cfg.system_cfg.allocator = acfg;
     cfg.system_cfg.drop_policy = policies[i];
     results[i] = exp::run_experiment(graph, curve, cfg);

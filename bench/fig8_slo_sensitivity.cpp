@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   ThreadPool pool(slos_ms.size());
   pool.parallel_for(slos_ms.size(), [&](std::size_t i) {
     exp::ExperimentConfig cfg;
-    cfg.system = exp::SystemKind::kLoki;
+    cfg.system = "loki-milp";
     cfg.system_cfg.allocator = ref_cfg;
     cfg.system_cfg.allocator.slo_s = slos_ms[i] / 1e3;
     results[i] = exp::run_experiment(graph, curve, cfg);

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   const auto curve = trace::generate_trace(tcfg);
 
   exp::ExperimentConfig ideal;
-  ideal.system = exp::SystemKind::kLoki;
+  ideal.system = "loki-milp";
 
   exp::ExperimentConfig prototype = ideal;
   prototype.system_cfg.exec_noise_frac = 0.06;  // kernel-time variance

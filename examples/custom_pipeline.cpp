@@ -8,15 +8,19 @@
 // with hand-specified variant profiles, then serves it with Loki. It shows
 // everything a downstream user needs: VariantCatalog construction, latency
 // design points, multiplicative factors (one page image yields several text
-// regions), pipeline wiring, and running the serving stack.
+// regions), pipeline wiring, the PlanRequest -> PlanResult planning API, and
+// registering a custom strategy with the StrategyRegistry so the experiment
+// driver can run it by name.
 //
 // Run: ./build/examples/custom_pipeline [--qps 300]
 #include <cstdio>
 
+#include "baselines/inferline.hpp"
 #include "common/flags.hpp"
 #include "exp/experiment.hpp"
 #include "pipeline/graph.hpp"
 #include "profile/profiler.hpp"
+#include "serving/strategy_registry.hpp"
 #include "trace/generator.hpp"
 
 using namespace loki;
@@ -64,6 +68,21 @@ pipeline::PipelineGraph document_pipeline() {
   return g;
 }
 
+/// A custom strategy: InferLine-style scaling pinned to the *cheapest*
+/// variants (max throughput, degraded accuracy). Overriding name() makes the
+/// registry key the strategy's own label everywhere it is reported.
+class PinnedFastStrategy : public baselines::InferLineStrategy {
+ public:
+  PinnedFastStrategy(const serving::AllocatorConfig& cfg,
+                     const pipeline::PipelineGraph* graph,
+                     const serving::ProfileTable& profiles)
+      : InferLineStrategy(cfg, graph, profiles,
+                          std::vector<int>(
+                              static_cast<std::size_t>(graph->num_tasks()),
+                              0)) {}
+  std::string name() const override { return "doc-pinned-fast"; }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,8 +102,17 @@ int main(int argc, char** argv) {
 
   const auto profiles =
       serving::build_profile_table(graph, profile::ModelProfiler());
-  serving::MilpAllocator alloc(acfg, &graph, profiles);
-  const auto plan = alloc.allocate(qps, mult);
+
+  // Construct Loki's allocator through the registry and plan one control
+  // epoch with the stateful API: the request carries everything the
+  // strategy may use, the result carries the plan plus the per-step solve
+  // breakdown.
+  auto alloc = exp::make_strategy("loki-milp", acfg, &graph, profiles);
+  serving::PlanRequest req;
+  req.demand_qps = qps;
+  req.mult = mult;
+  const auto planned = alloc->plan(req);
+  const auto& plan = planned.plan;
   std::printf("\nplan for %.0f QPS (%s mode, %d servers, accuracy %.3f):\n",
               qps, serving::to_string(plan.mode).c_str(), plan.servers_used,
               plan.expected_accuracy);
@@ -94,19 +122,37 @@ int main(int argc, char** argv) {
                 graph.task(ic.task).catalog.at(ic.variant).name.c_str(),
                 ic.replicas, ic.batch);
   }
+  for (const auto& step : planned.steps) {
+    std::printf("  step %-10s %6.1f ms  %d/%d splits feasible%s\n",
+                step.step.c_str(), 1e3 * step.wall_s, step.splits_feasible,
+                step.splits_attempted, step.selected ? "  [selected]" : "");
+  }
 
-  // And run it end-to-end for a couple of minutes of simulated time.
+  // Register a custom strategy under its own name; the experiment driver
+  // (and anything else that builds strategies by name) can now run it.
+  serving::StrategyRegistry::global().add(
+      "doc-pinned-fast",
+      [](const serving::AllocatorConfig& cfg,
+         const pipeline::PipelineGraph* g,
+         const serving::ProfileTable& p) {
+        return std::make_unique<PinnedFastStrategy>(cfg, g, p);
+      });
+
+  // And run both end-to-end for a couple of minutes of simulated time.
   trace::TraceConfig tcfg;
   tcfg.shape = trace::TraceShape::kSine;
   tcfg.duration_s = 120.0;
   tcfg.peak_qps = qps;
   const auto curve = trace::generate_trace(tcfg);
-  exp::ExperimentConfig cfg;
-  cfg.system = exp::SystemKind::kLoki;
-  cfg.system_cfg.allocator = acfg;
-  const auto result = exp::run_experiment(graph, curve, cfg);
-  std::printf("\nserved %llu queries: %.2f%% violations, %.3f accuracy\n",
-              static_cast<unsigned long long>(result.arrivals),
-              100.0 * result.slo_violation_ratio, result.mean_accuracy);
+  for (const char* system : {"loki-milp", "doc-pinned-fast"}) {
+    exp::ExperimentConfig cfg;
+    cfg.system = system;
+    cfg.system_cfg.allocator = acfg;
+    const auto result = exp::run_experiment(graph, curve, cfg);
+    std::printf("\n%s served %llu queries: %.2f%% violations, %.3f accuracy\n",
+                result.system_name.c_str(),
+                static_cast<unsigned long long>(result.arrivals),
+                100.0 * result.slo_violation_ratio, result.mean_accuracy);
+  }
   return 0;
 }

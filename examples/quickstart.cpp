@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   // 3. Run Loki (MILP allocator + MostAccurateFirst routing + opportunistic
   //    rerouting) on a 20-worker simulated cluster with a 250 ms SLO.
   loki::exp::ExperimentConfig cfg;
-  cfg.system = loki::exp::SystemKind::kLoki;
+  cfg.system = "loki-milp";  // any serving::StrategyRegistry key works here
   cfg.system_cfg.allocator.cluster_size = 20;
   cfg.system_cfg.allocator.slo_s = 0.250;
 

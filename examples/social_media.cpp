@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   ThreadPool pool(2);
   pool.parallel_for(2, [&](std::size_t i) {
     exp::ExperimentConfig cfg;
-    cfg.system = i == 0 ? exp::SystemKind::kLoki : exp::SystemKind::kInferLine;
+    cfg.system = i == 0 ? "loki-milp" : "inferline";
     cfg.system_cfg.allocator = acfg;
     (i == 0 ? loki_r : il_r) = exp::run_experiment(graph, curve, cfg);
   });

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   const auto curve = trace::generate_trace(tcfg);
 
   exp::ExperimentConfig cfg;
-  cfg.system = exp::SystemKind::kLoki;
+  cfg.system = "loki-milp";
   cfg.system_cfg.allocator = acfg;
   cfg.system_cfg.metrics_window_s = duration_s / 24.0;  // "hourly" windows
   const auto result = exp::run_experiment(graph, curve, cfg);

@@ -2,7 +2,11 @@
 # Solver benchmark runner: builds the bench targets in Release, runs
 # abl_solver and tab_runtime_overhead, and merges their google-benchmark
 # JSON reports into BENCH_solver.json (per-op wall time in ns plus the
-# pivot/node/warm-start counters each benchmark exports).
+# pivot/node/warm-start counters each benchmark exports). Also runs the
+# abl_allocator cross-epoch warm-start ablation, which writes
+# BENCH_allocator.json (steady-state re-plan latency, epoch warm-hit rate,
+# warm-vs-cold pivot ratio, and the plans-bit-identical check) and fails the
+# run if warm and cold plans ever diverge.
 #
 # Usage: scripts/bench_solver.sh [--quick] [output.json]
 #   --quick   run with --benchmark_min_time=0.01 (CI smoke; noisy numbers)
@@ -28,7 +32,7 @@ if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
 if ! cmake --build "$build_dir" -j "$jobs" \
-      --target abl_solver tab_runtime_overhead 2>/dev/null; then
+      --target abl_solver tab_runtime_overhead abl_allocator 2>/dev/null; then
   echo "bench targets unavailable (Google Benchmark not installed?)" >&2
   exit 3
 fi
@@ -55,9 +59,19 @@ export LOKI_MILP_NO_TIME_LIMIT=1
 "$build_dir/abl_solver" ${min_time} \
   --benchmark_out="$tmpdir/abl_solver.json" --benchmark_out_format=json
 "$build_dir/tab_runtime_overhead" ${min_time} \
-  --benchmark_filter='BM_RawSimplex|BM_ResourceManagerMilp' \
+  --benchmark_filter='BM_RawSimplex|BM_ResourceManagerMilp|BM_ResourceManagerSteadyReplan' \
   --benchmark_out="$tmpdir/tab_runtime_overhead.json" \
   --benchmark_out_format=json
+
+# Cross-epoch warm-start ablation -> BENCH_allocator.json next to the solver
+# report. Non-zero exit means warm and cold plans diverged — a correctness
+# failure, not a perf regression.
+alloc_json="$(dirname "$out_json")/BENCH_allocator.json"
+[[ "$alloc_json" == */* ]] || alloc_json="BENCH_allocator.json"
+"$build_dir/abl_allocator" --json="$alloc_json" > "$tmpdir/abl_allocator.log" \
+  || { echo "abl_allocator failed (warm/cold plan divergence?)" >&2;
+       tail -n 20 "$tmpdir/abl_allocator.log" >&2; exit 4; }
+tail -n 12 "$tmpdir/abl_allocator.log"
 
 python3 - "$tmpdir" "$out_json" <<'PYEOF'
 import json
@@ -81,7 +95,8 @@ for name in ("abl_solver", "tab_runtime_overhead"):
             # object; pick up the solver counters by name.
             if key in ("pivots", "bound_flips", "pivots_per_resolve",
                        "warm_fraction", "lp_pivots", "phase1_pivots",
-                       "nodes", "warm_hits", "cold_solves"):
+                       "nodes", "warm_hits", "cold_solves",
+                       "epoch_warm_hits", "epoch_cache_skips", "milp_solves"):
                 entry[key] = value
         merged["benchmarks"].append(entry)
 with open(out_path, "w") as f:

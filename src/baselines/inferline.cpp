@@ -1,8 +1,10 @@
 #include "baselines/inferline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/check.hpp"
 
@@ -26,8 +28,11 @@ InferLineStrategy::InferLineStrategy(serving::AllocatorConfig cfg,
   LOKI_CHECK(static_cast<int>(pinned_.size()) == graph_->num_tasks());
 }
 
-AllocationPlan InferLineStrategy::allocate(
-    double demand_qps, const pipeline::MultFactorTable& mult) {
+serving::PlanResult InferLineStrategy::plan(
+    const serving::PlanRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double demand_qps = request.demand_qps;
+  const auto& mult = request.mult;
   const auto& g = *graph_;
 
   // Load per task with the pinned variants.
@@ -46,7 +51,9 @@ AllocationPlan InferLineStrategy::allocate(
   // Best batch per task over the budget-split grid: InferLine tunes batch
   // sizes and replication, just never the variant.
   std::optional<AllocationPlan> best;
-  for (const auto& split : serving::budget_splits(cfg_, g)) {
+  const auto splits = serving::budget_splits(cfg_, g);
+  int feasible_splits = 0;
+  for (const auto& split : splits) {
     const auto budgets = serving::task_budgets_for_split(cfg_, g, split);
     AllocationPlan plan;
     plan.demand_qps = demand_qps;
@@ -140,11 +147,25 @@ AllocationPlan InferLineStrategy::allocate(
       }
       return a.servers_used < b.servers_used;
     };
+    ++feasible_splits;
     if (!best || better(plan, *best)) best = std::move(plan);
   }
   LOKI_CHECK_MSG(best.has_value(),
                  "InferLine: pinned variants infeasible under the SLO");
-  return *best;
+  serving::PlanResult out;
+  out.epoch = request.epoch;
+  best->solve_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  serving::StepSolve step;
+  step.step = "pinned-variant-scaling";
+  step.wall_s = best->solve_time_s;
+  step.splits_attempted = static_cast<int>(splits.size());
+  step.splits_feasible = feasible_splits;
+  step.selected = true;
+  out.steps.push_back(std::move(step));
+  out.plan = std::move(*best);
+  return out;
 }
 
 }  // namespace loki::baselines

@@ -20,8 +20,7 @@ class InferLineStrategy : public serving::AllocationStrategy {
                     serving::ProfileTable profiles,
                     std::vector<int> pinned_variants = {});
 
-  serving::AllocationPlan allocate(
-      double demand_qps, const pipeline::MultFactorTable& mult) override;
+  serving::PlanResult plan(const serving::PlanRequest& request) override;
   std::string name() const override { return "inferline"; }
 
  private:

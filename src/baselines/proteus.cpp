@@ -1,6 +1,7 @@
 #include "baselines/proteus.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -15,28 +16,48 @@ using serving::VariantConfig;
 ProteusStrategy::ProteusStrategy(serving::AllocatorConfig cfg,
                                  const pipeline::PipelineGraph* graph,
                                  serving::ProfileTable profiles,
-                                 double demand_ewma_alpha)
+                                 double demand_ewma_alpha,
+                                 double ewma_period_s)
     : cfg_(cfg), graph_(graph), profiles_(std::move(profiles)),
-      alpha_(demand_ewma_alpha) {
+      alpha_(demand_ewma_alpha), ewma_period_s_(ewma_period_s) {
   LOKI_CHECK(graph_ != nullptr);
+  LOKI_CHECK(ewma_period_s_ > 0.0);
   task_demand_.assign(static_cast<std::size_t>(graph_->num_tasks()), 0.0);
   demand_seen_.assign(static_cast<std::size_t>(graph_->num_tasks()), false);
 }
 
-void ProteusStrategy::observe_task_demand(const std::vector<double>& qps) {
+void ProteusStrategy::fold_observation(const std::vector<double>& qps,
+                                       double periods) {
   LOKI_CHECK(qps.size() == task_demand_.size());
+  // One observation summarizing `periods` reference periods carries the
+  // weight `periods` separate per-period folds would have accumulated, so
+  // the EWMA time constant does not depend on the fold cadence.
+  const double a =
+      1.0 - std::pow(1.0 - alpha_, std::max(1.0, periods));
   for (std::size_t t = 0; t < qps.size(); ++t) {
     if (!demand_seen_[t]) {
       task_demand_[t] = qps[t];
       demand_seen_[t] = true;
     } else {
-      task_demand_[t] = alpha_ * qps[t] + (1.0 - alpha_) * task_demand_[t];
+      task_demand_[t] = a * qps[t] + (1.0 - a) * task_demand_[t];
     }
   }
 }
 
-AllocationPlan ProteusStrategy::allocate(
-    double demand_qps, const pipeline::MultFactorTable& /*mult*/) {
+serving::PlanResult ProteusStrategy::plan(
+    const serving::PlanRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Observed arrivals ride in the request now (the old side-channel);
+  // an empty vector means the controller saw nothing since the last plan.
+  if (!request.task_arrivals_qps.empty()) {
+    const double periods =
+        last_fold_time_s_ >= 0.0 && request.sim_time_s > last_fold_time_s_
+            ? (request.sim_time_s - last_fold_time_s_) / ewma_period_s_
+            : 1.0;
+    fold_observation(request.task_arrivals_qps, periods);
+    last_fold_time_s_ = request.sim_time_s;
+  }
+  const double demand_qps = request.demand_qps;
   const auto& g = *graph_;
   const int nt = g.num_tasks();
 
@@ -228,7 +249,21 @@ AllocationPlan ProteusStrategy::allocate(
   plan.servers_used = total;
   plan.served_fraction = served;
   plan.mode = overload ? ScalingMode::kOverload : ScalingMode::kAccuracy;
-  return plan;
+  plan.solve_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  serving::PlanResult out;
+  out.epoch = request.epoch;
+  serving::StepSolve step;
+  step.step = "per-task-accuracy-scaling";
+  step.wall_s = plan.solve_time_s;
+  step.splits_attempted = 1;
+  step.splits_feasible = 1;
+  step.selected = true;
+  out.steps.push_back(std::move(step));
+  out.plan = std::move(plan);
+  return out;
 }
 
 }  // namespace loki::baselines

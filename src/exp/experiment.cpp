@@ -6,16 +6,59 @@
 #include "baselines/proteus.hpp"
 #include "common/check.hpp"
 #include "profile/profiler.hpp"
+#include "serving/strategy_registry.hpp"
 #include "sim/simulation.hpp"
 
 namespace loki::exp {
 
+void register_builtin_strategies() {
+  auto& registry = serving::StrategyRegistry::global();
+  // add() is a no-op when the key exists, so repeat calls are harmless.
+  registry.add("loki-milp",
+               [](const serving::AllocatorConfig& cfg,
+                  const pipeline::PipelineGraph* graph,
+                  const serving::ProfileTable& profiles) {
+                 return std::make_unique<serving::MilpAllocator>(cfg, graph,
+                                                                 profiles);
+               });
+  registry.add("greedy",
+               [](const serving::AllocatorConfig& cfg,
+                  const pipeline::PipelineGraph* graph,
+                  const serving::ProfileTable& profiles) {
+                 return std::make_unique<serving::GreedyAllocator>(cfg, graph,
+                                                                   profiles);
+               });
+  registry.add("inferline",
+               [](const serving::AllocatorConfig& cfg,
+                  const pipeline::PipelineGraph* graph,
+                  const serving::ProfileTable& profiles) {
+                 return std::make_unique<baselines::InferLineStrategy>(
+                     cfg, graph, profiles);
+               });
+  registry.add("proteus",
+               [](const serving::AllocatorConfig& cfg,
+                  const pipeline::PipelineGraph* graph,
+                  const serving::ProfileTable& profiles) {
+                 return std::make_unique<baselines::ProteusStrategy>(
+                     cfg, graph, profiles);
+               });
+}
+
+std::unique_ptr<serving::AllocationStrategy> make_strategy(
+    const std::string& name, const serving::AllocatorConfig& cfg,
+    const pipeline::PipelineGraph* graph,
+    const serving::ProfileTable& profiles) {
+  register_builtin_strategies();
+  return serving::StrategyRegistry::global().create(name, cfg, graph,
+                                                    profiles);
+}
+
 std::string to_string(SystemKind k) {
   switch (k) {
-    case SystemKind::kLoki: return "loki";
+    case SystemKind::kLoki: return "loki-milp";
     case SystemKind::kInferLine: return "inferline";
     case SystemKind::kProteus: return "proteus";
-    case SystemKind::kGreedy: return "loki-greedy";
+    case SystemKind::kGreedy: return "greedy";
   }
   return "?";
 }
@@ -24,20 +67,7 @@ std::unique_ptr<serving::AllocationStrategy> make_strategy(
     SystemKind kind, const serving::AllocatorConfig& cfg,
     const pipeline::PipelineGraph* graph,
     const serving::ProfileTable& profiles) {
-  switch (kind) {
-    case SystemKind::kLoki:
-      return std::make_unique<serving::MilpAllocator>(cfg, graph, profiles);
-    case SystemKind::kGreedy:
-      return std::make_unique<serving::GreedyAllocator>(cfg, graph, profiles);
-    case SystemKind::kInferLine:
-      return std::make_unique<baselines::InferLineStrategy>(cfg, graph,
-                                                            profiles);
-    case SystemKind::kProteus:
-      return std::make_unique<baselines::ProteusStrategy>(cfg, graph,
-                                                          profiles);
-  }
-  LOKI_CHECK(false);
-  return nullptr;
+  return make_strategy(to_string(kind), cfg, graph, profiles);
 }
 
 ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
@@ -72,7 +102,7 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
   system.finish(t_end);
 
   ExperimentResult out;
-  out.system_name = to_string(cfg.system);
+  out.system_name = strategy->name();
   const auto& m = system.metrics();
   out.slo_violation_ratio = m.slo_violation_ratio();
   out.mean_accuracy = m.mean_accuracy();
@@ -89,8 +119,14 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
 
 PlanProbe probe_plan(serving::AllocationStrategy& strategy,
                      const pipeline::PipelineGraph& graph, double demand_qps) {
-  const auto mult = pipeline::default_mult_factors(graph);
-  const auto plan = strategy.allocate(demand_qps, mult);
+  // Pure planner probe: a fresh single-epoch request with no previous plan,
+  // so probes are independent of each other and of any prior probes on the
+  // same strategy (the old API threaded hidden continuity state through
+  // them).
+  serving::PlanRequest req;
+  req.demand_qps = demand_qps;
+  req.mult = pipeline::default_mult_factors(graph);
+  const auto plan = strategy.plan(req).plan;
   PlanProbe probe;
   probe.demand_qps = demand_qps;
   probe.mode = plan.mode;
@@ -122,8 +158,10 @@ double find_capacity(serving::AllocationStrategy& strategy, double lo,
                      double tol_qps) {
   LOKI_CHECK(lo >= 0.0 && hi > lo && tol_qps > 0.0);
   auto servable = [&](double qps) {
-    const auto plan = strategy.allocate(qps, mult);
-    return plan.served_fraction >= 1.0 - 1e-9;
+    serving::PlanRequest req;
+    req.demand_qps = qps;
+    req.mult = mult;
+    return strategy.plan(req).plan.served_fraction >= 1.0 - 1e-9;
   };
   if (!servable(lo)) return 0.0;
   if (servable(hi)) return hi;

@@ -14,19 +14,37 @@
 
 namespace loki::exp {
 
-/// Which serving system to run (§6.1 baselines).
+/// Registers the built-in strategies ("loki-milp", "greedy", "inferline",
+/// "proteus") with serving::StrategyRegistry::global(). Idempotent; called
+/// automatically by make_strategy / run_experiment, and explicitly by code
+/// that wants to enumerate or extend the registry.
+void register_builtin_strategies();
+
+/// Builds the strategy registered under `name` (see strategy_registry.hpp);
+/// registers the built-ins first. The returned strategy reports
+/// name() == `name`.
+std::unique_ptr<serving::AllocationStrategy> make_strategy(
+    const std::string& name, const serving::AllocatorConfig& cfg,
+    const pipeline::PipelineGraph* graph,
+    const serving::ProfileTable& profiles);
+
+/// Deprecated shim for the closed pre-registry enum (§6.1 baselines). The
+/// registry key is the single source of truth; these helpers only translate
+/// old call sites.
 enum class SystemKind { kLoki, kInferLine, kProteus, kGreedy };
 
+/// Registry key for `k` ("loki-milp", "inferline", "proteus", "greedy").
 std::string to_string(SystemKind k);
 
-/// Builds the strategy for `kind` over the given pipeline/profiles.
+/// Deprecated: make_strategy(to_string(kind), ...).
 std::unique_ptr<serving::AllocationStrategy> make_strategy(
     SystemKind kind, const serving::AllocatorConfig& cfg,
     const pipeline::PipelineGraph* graph,
     const serving::ProfileTable& profiles);
 
 struct ExperimentConfig {
-  SystemKind system = SystemKind::kLoki;
+  /// Registry key of the strategy to run (serving/strategy_registry.hpp).
+  std::string system = "loki-milp";
   serving::SystemConfig system_cfg;
   trace::ArrivalConfig arrivals;
   /// Extra simulated time after the last arrival to drain in-flight queries.

@@ -398,18 +398,54 @@ GreedyAllocator::GreedyAllocator(AllocatorConfig cfg,
   LOKI_CHECK(cfg_.cluster_size >= graph_->num_tasks());
 }
 
-AllocationPlan GreedyAllocator::allocate(double demand_qps,
-                                         const pipeline::MultFactorTable& mult) {
+const std::vector<GreedyAllocator::SplitConfigs>&
+GreedyAllocator::split_configs() {
+  if (!split_configs_ready_) {
+    splits_ = budget_splits(cfg_, *graph_);
+    split_configs_.reserve(splits_.size());
+    for (const auto& split : splits_) {
+      SplitConfigs sc;
+      sc.budgets = task_budgets_for_split(cfg_, *graph_, split);
+      sc.configs = feasible_configs(*graph_, profiles_, sc.budgets,
+                                    cfg_.utilization_target);
+      split_configs_.push_back(std::move(sc));
+    }
+    split_configs_ready_ = true;
+  }
+  return split_configs_;
+}
+
+PlanResult GreedyAllocator::plan(const PlanRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto& g = *graph_;
-  const auto splits = budget_splits(cfg_, g);
+  const double demand_qps = request.demand_qps;
+  const auto& mult = request.mult;
+  const auto& per_split = split_configs();
+
+  PlanResult out;
+  out.epoch = request.epoch;
+  StepSolve step;
+  step.step = "greedy";
+  step.splits_attempted = static_cast<int>(per_split.size());
+  step.selected = true;
+
+  auto finish = [&](AllocationPlan plan) {
+    plan.solve_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    step.wall_s = plan.solve_time_s;
+    out.steps.push_back(step);
+    out.plan = std::move(plan);
+    return std::move(out);
+  };
 
   std::optional<AllocationPlan> best;
-  for (const auto& split : splits) {
-    const auto budgets = task_budgets_for_split(cfg_, g, split);
-    const auto configs = feasible_configs(g, profiles_, budgets, cfg_.utilization_target);
+  for (const auto& sc : per_split) {
+    const auto& configs = sc.configs;
     const auto gc = greedy_choice(g, configs, mult, demand_qps,
                                   cfg_.cluster_size, /*allow_degrade=*/true);
     if (!gc.feasible) continue;
+    ++step.splits_feasible;
     AllocationPlan plan = plan_from_choice(g, configs, gc, demand_qps);
     plan.mode = gc.accuracy >= 1.0 - 1e-12 ? ScalingMode::kHardware
                                            : ScalingMode::kAccuracy;
@@ -419,13 +455,12 @@ AllocationPlan GreedyAllocator::allocate(double demand_qps,
       best = std::move(plan);
     }
   }
-  if (best) return *best;
+  if (best) return finish(std::move(*best));
 
   // Overload fallback: the cheapest feasible configuration; serve what fits
   // and shed the rest at the frontend.
-  for (const auto& split : splits) {
-    const auto budgets = task_budgets_for_split(cfg_, g, split);
-    const auto configs = feasible_configs(g, profiles_, budgets, cfg_.utilization_target);
+  for (const auto& sc : per_split) {
+    const auto& configs = sc.configs;
     bool ok = true;
     std::vector<int> cheap(static_cast<std::size_t>(g.num_tasks()), 0);
     for (int t = 0; t < g.num_tasks() && ok; ++t) {
@@ -495,7 +530,8 @@ AllocationPlan GreedyAllocator::allocate(double demand_qps,
     AllocationPlan plan = plan_from_choice(g, configs, gc, demand_qps);
     plan.mode = ScalingMode::kOverload;
     plan.served_fraction = served;
-    return plan;
+    ++step.splits_feasible;
+    return finish(std::move(plan));
   }
   LOKI_CHECK_MSG(false, "SLO infeasible: no variant fits any budget split");
   return {};
@@ -504,6 +540,40 @@ AllocationPlan GreedyAllocator::allocate(double demand_qps,
 // ---------------------------------------------------------------------------
 // MilpAllocator
 // ---------------------------------------------------------------------------
+
+/// See the declaration in allocation.hpp for the ownership story. Split
+/// caches depend only on construction inputs (cfg, graph, profiles) and are
+/// immutable once built; the per-(split, step) StepCache entries carry the
+/// mutable cross-epoch solver state and are each touched by exactly one
+/// thread of the split-parallel solve.
+struct MilpAllocator::EpochContext {
+  /// Cross-epoch solver state for one (budget split, allocation step).
+  struct StepCache {
+    /// The exact model (and greedy warm incumbent) of the last cold build;
+    /// the warm-start gate requires the new model to equal it bitwise.
+    bool has_model = false;
+    solver::LpProblem model;
+    std::optional<std::vector<double>> warm;
+    /// Persistent simplex context + post-root basis (solver/milp.hpp).
+    solver::ResolveSession session;
+    /// Memoized "this model yields no plan" verdict: re-proving the same
+    /// infeasibility every epoch is pure waste, and the solver is
+    /// deterministic, so the cached verdict is exact.
+    bool last_no_plan = false;
+  };
+  struct SplitCache {
+    std::vector<double> budgets;
+    ConfigTable configs;     // all variants (accuracy + overload steps)
+    ConfigTable configs_hw;  // most accurate variant only (hardware step)
+    bool feasible = false;   // every task has >= 1 feasible config
+    bool feasible_hw = false;
+    std::vector<std::vector<ConfigPath>> sink_paths;
+    std::vector<std::vector<ConfigPath>> sink_paths_hw;
+    StepCache steps[2];  // [0] hardware, [1] accuracy
+  };
+  std::vector<std::vector<double>> splits;
+  std::vector<SplitCache> per_split;
+};
 
 MilpAllocator::MilpAllocator(AllocatorConfig cfg,
                              const pipeline::PipelineGraph* graph,
@@ -514,10 +584,61 @@ MilpAllocator::MilpAllocator(AllocatorConfig cfg,
                  "cluster must fit at least one instance per task");
 }
 
+MilpAllocator::~MilpAllocator() = default;
+
+void MilpAllocator::reset_epoch_context() { epoch_.reset(); }
+
+void MilpAllocator::ensure_epoch_context() {
+  if (epoch_) return;
+  const auto& g = *graph_;
+  auto ctx = std::make_unique<EpochContext>();
+  ctx->splits = budget_splits(cfg_, g);
+  ctx->per_split.resize(ctx->splits.size());
+  const auto sinks = g.sinks();
+  for (std::size_t i = 0; i < ctx->splits.size(); ++i) {
+    auto& sc = ctx->per_split[i];
+    sc.budgets = task_budgets_for_split(cfg_, g, ctx->splits[i]);
+    sc.configs =
+        feasible_configs(g, profiles_, sc.budgets, cfg_.utilization_target);
+    // Hardware-scaling view: only the most accurate variant of each task
+    // (Eq. 8-10).
+    sc.configs_hw.resize(sc.configs.size());
+    for (int t = 0; t < g.num_tasks(); ++t) {
+      const int best_variant = g.task(t).catalog.most_accurate();
+      for (const auto& vc : sc.configs[static_cast<std::size_t>(t)]) {
+        if (vc.variant == best_variant) {
+          sc.configs_hw[static_cast<std::size_t>(t)].push_back(vc);
+        }
+      }
+    }
+    auto all_nonempty = [&](const ConfigTable& configs) {
+      for (int t = 0; t < g.num_tasks(); ++t) {
+        if (configs[static_cast<std::size_t>(t)].empty()) return false;
+      }
+      return true;
+    };
+    sc.feasible = all_nonempty(sc.configs);
+    sc.feasible_hw = all_nonempty(sc.configs_hw);
+    auto build_paths = [&](const ConfigTable& configs) {
+      std::vector<std::vector<ConfigPath>> paths;
+      paths.reserve(sinks.size());
+      for (int s : sinks) {
+        paths.push_back(enumerate_config_paths(g.task_path_to(s), configs));
+        LOKI_CHECK(!paths.back().empty());
+      }
+      return paths;
+    };
+    if (sc.feasible) sc.sink_paths = build_paths(sc.configs);
+    if (sc.feasible_hw) sc.sink_paths_hw = build_paths(sc.configs_hw);
+  }
+  epoch_ = std::move(ctx);
+}
+
 MilpAllocator::MilpResult MilpAllocator::solve_step(
-    const std::vector<double>& task_budgets, double demand_qps,
-    const pipeline::MultFactorTable& mult, bool hardware_only,
-    bool served_fraction_mode) const {
+    std::size_t split_idx, double demand_qps,
+    const pipeline::MultFactorTable& mult,
+    const std::vector<std::vector<bool>>& prev_variants, bool hardware_only,
+    bool served_fraction_mode) {
   using solver::Constraint;
   using solver::LpProblem;
   using solver::Relation;
@@ -527,30 +648,15 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
   const auto& g = *graph_;
   MilpResult result;
 
-  auto configs = feasible_configs(g, profiles_, task_budgets, cfg_.utilization_target);
-  if (hardware_only) {
-    // Keep only the most accurate variant of each task (Eq. 8-10).
-    for (int t = 0; t < g.num_tasks(); ++t) {
-      auto& cs = configs[static_cast<std::size_t>(t)];
-      const int best_variant = g.task(t).catalog.most_accurate();
-      std::vector<VariantConfig> kept;
-      for (const auto& vc : cs) {
-        if (vc.variant == best_variant) kept.push_back(vc);
-      }
-      cs = std::move(kept);
-    }
+  auto& split_cache = epoch_->per_split[split_idx];
+  if (!(hardware_only ? split_cache.feasible_hw : split_cache.feasible)) {
+    return result;
   }
-  for (int t = 0; t < g.num_tasks(); ++t) {
-    if (configs[static_cast<std::size_t>(t)].empty()) return result;
-  }
-
+  const ConfigTable& configs =
+      hardware_only ? split_cache.configs_hw : split_cache.configs;
+  const auto& sink_paths =
+      hardware_only ? split_cache.sink_paths_hw : split_cache.sink_paths;
   const auto sinks = g.sinks();
-  std::vector<std::vector<ConfigPath>> sink_paths;
-  sink_paths.reserve(sinks.size());
-  for (int s : sinks) {
-    sink_paths.push_back(enumerate_config_paths(g.task_path_to(s), configs));
-    LOKI_CHECK(!sink_paths.back().empty());
-  }
 
   // --- Variables ---
   LpProblem lp(Sense::kMinimize);
@@ -694,8 +800,8 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
   constexpr double kServerPenalty = 1e-6;
   const double sink_weight = 1.0 / static_cast<double>(sinks.size());
   auto continuity = [&](int task, int variant) {
-    if (prev_variants_.empty()) return 0.0;
-    const auto& pv = prev_variants_[static_cast<std::size_t>(task)];
+    if (prev_variants.empty()) return 0.0;
+    const auto& pv = prev_variants[static_cast<std::size_t>(task)];
     return pv[static_cast<std::size_t>(variant)] ? cfg_.continuity_bonus : 0.0;
   };
   auto set_accuracy_objective = [&]() {
@@ -852,10 +958,38 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
     set_accuracy_objective();
   }
 
-  auto sol = bnb.solve(lp, warm);
+  // Cross-epoch warm-start gate: with steady demand / mult / previous-plan
+  // inputs the step model is bit-identical to last epoch's, so the solve can
+  // resume from the retained basis (same plans, far fewer pivots). Any
+  // difference at all — one coefficient, one warm-incumbent entry — reads as
+  // a new model and cold-solves.
+  auto& step_cache = split_cache.steps[hardware_only ? 0 : 1];
+  const bool same_model = cfg_.warm_start_across_epochs &&
+                          step_cache.has_model && warm == step_cache.warm &&
+                          solver::structurally_equal(lp, step_cache.model);
+  if (same_model && step_cache.last_no_plan) {
+    // This exact model already failed to produce a plan; the solver is
+    // deterministic, so re-running it would only re-prove the verdict.
+    result.stats.epoch_cache_skips = 1;
+    return result;
+  }
+  solver::ResolveSession* session =
+      cfg_.warm_start_across_epochs ? &step_cache.session : nullptr;
+  auto sol = bnb.solve(lp, warm, session, same_model);
+  if (cfg_.warm_start_across_epochs && !same_model) {
+    step_cache.model = lp;
+    step_cache.warm = warm;
+    step_cache.has_model = true;
+  }
   track(sol);
-  if (sol.status != solver::MilpStatus::kOptimal &&
-      sol.status != solver::MilpStatus::kFeasible) {
+  const bool has_plan = sol.status == solver::MilpStatus::kOptimal ||
+                        sol.status == solver::MilpStatus::kFeasible;
+  // Memoize only *proven* infeasibility: kNoSolution can mean a truncated
+  // search (possibly wall-clock truncation under machine load), and caching
+  // that would permanently disable the step for steady demand. A proven
+  // infeasible verdict is deterministic and safe to reuse.
+  step_cache.last_no_plan = sol.status == solver::MilpStatus::kInfeasible;
+  if (!has_plan) {
     return result;
   }
   plan.mode = hardware_only ? ScalingMode::kHardware : ScalingMode::kAccuracy;
@@ -866,19 +1000,41 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
   return result;
 }
 
-AllocationPlan MilpAllocator::allocate(double demand_qps,
-                                       const pipeline::MultFactorTable& mult) {
+PlanResult MilpAllocator::plan(const PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto splits = budget_splits(cfg_, *graph_);
+  ensure_epoch_context();
+  const double demand_qps = request.demand_qps;
+  const auto& splits = epoch_->splits;
   if (!pool_) {
     pool_ = std::make_unique<ThreadPool>(
         std::min<std::size_t>(splits.size(), 8));
   }
 
+  // Previous-plan view -> hosted-variant bitmap. The accuracy objective
+  // gives a tiny per-replica bonus for reusing these variants: successive
+  // MILP solves otherwise flip between near-equal mixes, and every flip
+  // costs real model-swap downtime at runtime (plan-continuity
+  // regularization).
+  std::vector<std::vector<bool>> prev_variants;
+  if (request.previous_plan != nullptr) {
+    prev_variants.assign(static_cast<std::size_t>(graph_->num_tasks()), {});
+    for (int t = 0; t < graph_->num_tasks(); ++t) {
+      prev_variants[static_cast<std::size_t>(t)].assign(
+          static_cast<std::size_t>(graph_->task(t).catalog.size()), false);
+    }
+    for (const auto& ic : request.previous_plan->instances) {
+      if (ic.task < 0 || ic.task >= graph_->num_tasks()) continue;
+      auto& pv = prev_variants[static_cast<std::size_t>(ic.task)];
+      if (ic.variant < 0 || ic.variant >= static_cast<int>(pv.size())) continue;
+      pv[static_cast<std::size_t>(ic.variant)] = true;
+    }
+  }
+
+  PlanResult out;
+  out.epoch = request.epoch;
   // Solver counters aggregate over every split of every step attempted for
   // this allocation, not just the winning plan's own solve.
   SolverStats agg;
-  auto merge_stats = [&agg](const SolverStats& s) { agg += s; };
 
   auto finish = [&](AllocationPlan plan) {
     plan.solve_time_s =
@@ -886,66 +1042,70 @@ AllocationPlan MilpAllocator::allocate(double demand_qps,
             .count();
     plan.demand_qps = demand_qps;
     plan.solver = agg;
-    // Remember the hosted variants for the next solve's continuity bonus.
-    prev_variants_.assign(static_cast<std::size_t>(graph_->num_tasks()), {});
-    for (int t = 0; t < graph_->num_tasks(); ++t) {
-      prev_variants_[static_cast<std::size_t>(t)].assign(
-          static_cast<std::size_t>(graph_->task(t).catalog.size()), false);
-    }
-    for (const auto& ic : plan.instances) {
-      prev_variants_[static_cast<std::size_t>(ic.task)]
-                    [static_cast<std::size_t>(ic.variant)] = true;
-    }
-    return plan;
+    out.solver = agg;
+    out.plan = std::move(plan);
+    return std::move(out);
   };
 
   // Solves all splits for one step concurrently; selection afterwards is
-  // deterministic (index order).
-  auto solve_all = [&](bool hardware_only, bool served_fraction_mode) {
+  // deterministic (index order). `better` is the step's plan preference.
+  auto run_step = [&](const char* step_name, bool hardware_only,
+                      bool served_fraction_mode,
+                      auto&& better) -> std::optional<AllocationPlan> {
+    const auto s0 = std::chrono::steady_clock::now();
+    StepSolve step;
+    step.step = step_name;
+    step.splits_attempted = static_cast<int>(splits.size());
     std::vector<MilpResult> results(splits.size());
     pool_->parallel_for(splits.size(), [&](std::size_t i) {
-      const auto budgets = task_budgets_for_split(cfg_, *graph_, splits[i]);
-      results[i] = solve_step(budgets, demand_qps, mult, hardware_only,
-                              served_fraction_mode);
+      results[i] = solve_step(i, demand_qps, request.mult, prev_variants,
+                              hardware_only, served_fraction_mode);
     });
-    return results;
+    std::optional<AllocationPlan> best;
+    for (auto& res : results) {
+      step.solver += res.stats;
+      if (!res.feasible) continue;
+      ++step.splits_feasible;
+      if (!best || better(res.plan, *best)) best = std::move(res.plan);
+    }
+    agg += step.solver;
+    step.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
+            .count();
+    step.selected = best.has_value();
+    out.steps.push_back(std::move(step));
+    return best;
   };
 
   // Step 1: hardware scaling — minimize servers at maximum accuracy.
-  std::optional<AllocationPlan> best;
-  for (auto& res : solve_all(/*hardware_only=*/true, false)) {
-    merge_stats(res.stats);
-    if (!res.feasible) continue;
-    if (!best || res.plan.servers_used < best->servers_used) {
-      best = std::move(res.plan);
-    }
+  if (auto best = run_step(
+          "hardware", /*hardware_only=*/true, /*served_fraction_mode=*/false,
+          [](const AllocationPlan& a, const AllocationPlan& b) {
+            return a.servers_used < b.servers_used;
+          })) {
+    return finish(std::move(*best));
   }
-  if (best) return finish(std::move(*best));
 
   // Step 2: accuracy scaling — maximize accuracy on the full cluster.
-  for (auto& res : solve_all(/*hardware_only=*/false, false)) {
-    merge_stats(res.stats);
-    if (!res.feasible) continue;
-    if (!best ||
-        res.plan.expected_accuracy > best->expected_accuracy + 1e-9 ||
-        (std::abs(res.plan.expected_accuracy - best->expected_accuracy) <=
-             1e-9 &&
-         res.plan.servers_used < best->servers_used)) {
-      best = std::move(res.plan);
-    }
+  if (auto best = run_step(
+          "accuracy", /*hardware_only=*/false, /*served_fraction_mode=*/false,
+          [](const AllocationPlan& a, const AllocationPlan& b) {
+            return a.expected_accuracy > b.expected_accuracy + 1e-9 ||
+                   (std::abs(a.expected_accuracy - b.expected_accuracy) <=
+                        1e-9 &&
+                    a.servers_used < b.servers_used);
+          })) {
+    return finish(std::move(*best));
   }
-  if (best) return finish(std::move(*best));
 
   // Step 3: overload — maximize served fraction, then accuracy.
-  for (auto& res : solve_all(/*hardware_only=*/false, true)) {
-    merge_stats(res.stats);
-    if (!res.feasible) continue;
-    if (!best || res.plan.served_fraction > best->served_fraction + 1e-9 ||
-        (std::abs(res.plan.served_fraction - best->served_fraction) <= 1e-9 &&
-         res.plan.expected_accuracy > best->expected_accuracy)) {
-      best = std::move(res.plan);
-    }
-  }
+  auto best = run_step(
+      "overload", /*hardware_only=*/false, /*served_fraction_mode=*/true,
+      [](const AllocationPlan& a, const AllocationPlan& b) {
+        return a.served_fraction > b.served_fraction + 1e-9 ||
+               (std::abs(a.served_fraction - b.served_fraction) <= 1e-9 &&
+                a.expected_accuracy > b.expected_accuracy);
+      });
   LOKI_CHECK_MSG(best.has_value(),
                  "overload MILP must always be feasible (lambda=0 works)");
   return finish(std::move(*best));

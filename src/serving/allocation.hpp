@@ -45,6 +45,13 @@ struct AllocatorConfig {
   /// no longer holds under stochastic arrivals; 0.85 keeps single-replica
   /// groups (the low-demand regime) out of the heavy-queueing region.
   double utilization_target = 0.85;
+  /// Cross-epoch warm starts: when a step's MILP model is bit-identical to
+  /// the previous epoch's (steady demand within the re-allocation
+  /// hysteresis), re-solve it from the previous epoch's retained basis
+  /// instead of a cold root solve. Plans are bit-identical either way; this
+  /// only changes how many pivots the re-solve costs. Benches measuring
+  /// cold re-plan latency switch it off.
+  bool warm_start_across_epochs = true;
   solver::MilpOptions milp = default_milp_options();
 
   static solver::MilpOptions default_milp_options();
@@ -99,14 +106,26 @@ class GreedyAllocator : public AllocationStrategy {
   GreedyAllocator(AllocatorConfig cfg, const pipeline::PipelineGraph* graph,
                   ProfileTable profiles);
 
-  AllocationPlan allocate(double demand_qps,
-                          const pipeline::MultFactorTable& mult) override;
+  PlanResult plan(const PlanRequest& request) override;
   std::string name() const override { return "greedy"; }
 
  private:
+  /// Budgets + feasible configs per budget split. Depends only on
+  /// construction inputs, so it is computed once on first use and shared by
+  /// the main loop and the overload fallback (they used to recompute
+  /// identical tables per split).
+  struct SplitConfigs {
+    std::vector<double> budgets;
+    ConfigTable configs;
+  };
+  const std::vector<SplitConfigs>& split_configs();
+
   AllocatorConfig cfg_;
   const pipeline::PipelineGraph* graph_;
   ProfileTable profiles_;
+  std::vector<std::vector<double>> splits_;
+  std::vector<SplitConfigs> split_configs_;
+  bool split_configs_ready_ = false;
 };
 
 /// Loki's MILP allocator (§4.1): step 1 hardware scaling (minimize servers,
@@ -117,12 +136,28 @@ class MilpAllocator : public AllocationStrategy {
  public:
   MilpAllocator(AllocatorConfig cfg, const pipeline::PipelineGraph* graph,
                 ProfileTable profiles);
+  ~MilpAllocator() override;
 
-  AllocationPlan allocate(double demand_qps,
-                          const pipeline::MultFactorTable& mult) override;
+  PlanResult plan(const PlanRequest& request) override;
   std::string name() const override { return "loki-milp"; }
 
   const AllocatorConfig& config() const { return cfg_; }
+
+  /// Drops all EpochContext state (cached budget splits / feasible configs
+  /// and every retained solver basis), forcing the next plan() to rebuild
+  /// and cold-solve everything. Plans are unaffected.
+  void reset_epoch_context();
+
+  /// Explicit cross-epoch state (defined in allocation.cpp). Owns, per
+  /// budget split: the cached task budgets, feasible-config tables and
+  /// augmented-graph path enumerations (recomputed per solve before this
+  /// existed — the allocator-overhead bound of BM_ResourceManagerMilp/100),
+  /// and per (split, allocation step) one persistent solver::ResolveSession
+  /// whose retained basis warm-starts the next epoch's re-solve when the
+  /// step model is bit-identical (see AllocatorConfig::
+  /// warm_start_across_epochs). This is the state the old API hid inside
+  /// prev_variants_ and per-call locals, now named and resettable.
+  struct EpochContext;
 
  private:
   struct MilpResult {
@@ -133,23 +168,24 @@ class MilpAllocator : public AllocationStrategy {
     SolverStats stats;
   };
 
-  /// Solves one MILP for one budget split. `hardware_only` restricts each
-  /// task to its most accurate variant and minimizes servers; otherwise
-  /// maximizes accuracy. `served_fraction_mode` relaxes the demand
-  /// constraint and maximizes the served fraction first.
-  MilpResult solve_step(const std::vector<double>& task_budgets,
-                        double demand_qps,
+  /// Lazily builds the per-split caches of the EpochContext.
+  void ensure_epoch_context();
+
+  /// Solves one MILP for one budget split (index into the cached splits).
+  /// `hardware_only` restricts each task to its most accurate variant and
+  /// minimizes servers; otherwise maximizes accuracy. `served_fraction_mode`
+  /// relaxes the demand constraint and maximizes the served fraction first.
+  /// `prev_variants` (per task, per variant) marks variants hosted by the
+  /// request's previous plan for the continuity bonus.
+  MilpResult solve_step(std::size_t split_idx, double demand_qps,
                         const pipeline::MultFactorTable& mult,
-                        bool hardware_only, bool served_fraction_mode) const;
+                        const std::vector<std::vector<bool>>& prev_variants,
+                        bool hardware_only, bool served_fraction_mode);
 
   AllocatorConfig cfg_;
   const pipeline::PipelineGraph* graph_;
   ProfileTable profiles_;
-  /// Variants hosted by the previous plan, per task. The accuracy objective
-  /// gets a tiny per-replica bonus for reusing them: successive MILP solves
-  /// otherwise flip between near-equal mixes, and every flip costs real
-  /// model-swap downtime at runtime (plan-continuity regularization).
-  std::vector<std::vector<bool>> prev_variants_;
+  std::unique_ptr<EpochContext> epoch_;
   /// Budget-split MILPs are independent; they solve concurrently. The pool
   /// is lazily sized to the split count.
   std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,61 @@
+#include "serving/strategy_registry.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace loki::serving {
+
+StrategyRegistry& StrategyRegistry::global() {
+  static StrategyRegistry* registry = new StrategyRegistry();
+  return *registry;
+}
+
+bool StrategyRegistry::add(std::string name, Factory factory) {
+  LOKI_CHECK(!name.empty());
+  LOKI_CHECK(factory != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.emplace(std::move(name), std::move(factory)).second;
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    (void)factory;
+    out.push_back(name);
+  }
+  return out;  // std::map iteration order is already sorted
+}
+
+std::unique_ptr<AllocationStrategy> StrategyRegistry::create(
+    const std::string& name, const AllocatorConfig& cfg,
+    const pipeline::PipelineGraph* graph, const ProfileTable& profiles) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream known;
+    for (const auto& n : names()) known << " " << n;
+    LOKI_CHECK_MSG(false, "unknown strategy '" << name << "'; registered:"
+                                               << known.str());
+  }
+  auto strategy = factory(cfg, graph, profiles);
+  LOKI_CHECK_MSG(strategy != nullptr,
+                 "strategy factory '" << name << "' returned null");
+  LOKI_CHECK_MSG(strategy->name() == name,
+                 "strategy registered as '" << name << "' reports name() '"
+                                            << strategy->name() << "'");
+  return strategy;
+}
+
+}  // namespace loki::serving

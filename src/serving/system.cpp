@@ -523,6 +523,20 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
 // Controller
 // ---------------------------------------------------------------------------
 
+std::vector<double> ServingSystem::drain_task_arrivals(double now) {
+  const double window = now - arrivals_window_start_;
+  std::vector<double> rates;
+  if (window > 1e-9) {
+    rates.resize(task_window_arrivals_.size(), 0.0);
+    for (std::size_t t = 0; t < rates.size(); ++t) {
+      rates[t] = task_window_arrivals_[t] / window;
+    }
+  }
+  std::fill(task_window_arrivals_.begin(), task_window_arrivals_.end(), 0.0);
+  arrivals_window_start_ = now;
+  return rates;
+}
+
 void ServingSystem::run_resource_manager() {
   const double now = sim_->now();
   const double demand = demand_.estimate(now);
@@ -536,7 +550,15 @@ void ServingSystem::run_resource_manager() {
       return;
     }
   }
-  AllocationPlan plan = strategy_->allocate(demand, mult_estimates_);
+  PlanRequest req;
+  req.demand_qps = demand;
+  req.mult = mult_estimates_;
+  req.task_arrivals_qps = drain_task_arrivals(now);
+  req.sim_time_s = now;
+  req.epoch = allocations_;
+  req.previous_plan = has_plan_ ? &plan_ : nullptr;
+  PlanResult result = strategy_->plan(req);
+  AllocationPlan plan = std::move(result.plan);
   has_plan_ = true;
   last_alloc_demand_ = demand;
   if (metadata_) {
@@ -576,13 +598,9 @@ void ServingSystem::run_heartbeat() {
       obs_out_[t][k] = 0.0;
     }
   }
-  // Per-task arrival rates for pipeline-agnostic strategies (Proteus).
-  std::vector<double> rates(task_window_arrivals_.size(), 0.0);
-  for (std::size_t t = 0; t < rates.size(); ++t) {
-    rates[t] = task_window_arrivals_[t] / cfg_.heartbeat_period_s;
-    task_window_arrivals_[t] = 0.0;
-  }
-  strategy_->observe_task_demand(rates);
+  // Per-task arrivals keep accumulating in task_window_arrivals_; they
+  // reach the strategy as PlanRequest::task_arrivals_qps at the next plan
+  // request (the old observe_task_demand side-channel is gone).
   metrics_.record_utilization(now, plan_.servers_used,
                               cfg_.allocator.cluster_size);
 

@@ -191,10 +191,17 @@ class ServingSystem {
   std::unordered_map<std::uint64_t, QueryState> queries_;
   std::uint64_t next_query_id_ = 1;
 
+  /// Observed per-task arrival rates since the last plan request, handed to
+  /// the strategy inside PlanRequest::task_arrivals_qps (pipeline-agnostic
+  /// strategies consume these instead of propagating demand). Resets the
+  /// accumulation window and returns empty when no time has elapsed.
+  std::vector<double> drain_task_arrivals(double now);
+
   // Observed multiplicative factors since the last heartbeat.
   std::vector<std::vector<double>> obs_in_;   // [task][variant]
   std::vector<std::vector<double>> obs_out_;  // [task][variant]
-  std::vector<double> task_window_arrivals_;  // per task, for Proteus
+  std::vector<double> task_window_arrivals_;  // per task, since last plan
+  double arrivals_window_start_ = 0.0;
 
   Rng rng_routing_;
   Rng rng_mult_;

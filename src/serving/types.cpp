@@ -12,6 +12,8 @@ SolverStats& SolverStats::operator+=(const SolverStats& o) {
   lp_phase1_iterations += o.lp_phase1_iterations;
   warm_start_hits += o.warm_start_hits;
   cold_solves += o.cold_solves;
+  epoch_warm_hits += o.epoch_warm_hits;
+  epoch_cache_skips += o.epoch_cache_skips;
   return *this;
 }
 
@@ -23,6 +25,20 @@ void SolverStats::add(const solver::MilpSolution& sol) {
   lp_phase1_iterations += sol.lp_phase1_iterations;
   warm_start_hits += sol.warm_start_hits;
   cold_solves += sol.cold_solves;
+  if (sol.root_warm_started) ++epoch_warm_hits;
+}
+
+AllocationPlan AllocationStrategy::allocate(
+    double demand_qps, const pipeline::MultFactorTable& mult) {
+  PlanRequest req;
+  req.demand_qps = demand_qps;
+  req.mult = mult;
+  req.epoch = shim_epochs_++;
+  req.previous_plan = shim_has_prev_ ? &shim_prev_plan_ : nullptr;
+  PlanResult result = plan(req);
+  shim_prev_plan_ = result.plan;
+  shim_has_prev_ = true;
+  return std::move(result.plan);
 }
 
 std::string to_string(ScalingMode m) {

@@ -50,6 +50,13 @@ struct SolverStats {
   int lp_phase1_iterations = 0;  // pivots spent restoring feasibility
   int warm_start_hits = 0;       // node LPs resolved from a reused basis
   int cold_solves = 0;           // node LPs that ran a full two-phase solve
+  /// MILP solves whose root LP warm-started from a basis retained by a
+  /// *previous* plan() call (cross-epoch warm start, EpochContext).
+  int epoch_warm_hits = 0;
+  /// Step verdicts ("this model is infeasible / yields no plan") reused
+  /// wholesale because the model was bit-identical to the previous epoch's;
+  /// no solver work was spent at all.
+  int epoch_cache_skips = 0;
 
   SolverStats& operator+=(const SolverStats& o);
   /// Folds one branch-and-bound result into the tally (bumps milp_solves).
@@ -84,24 +91,88 @@ struct AllocationPlan {
   int replicas_of(int task, int variant) const;
 };
 
+/// Everything the Resource Manager knows when it asks for a plan (one
+/// control epoch, §4.2). Replaces the old positional allocate(demand, mult)
+/// call and the observe_task_demand() side-channel: all controller-observed
+/// state travels in the request, and all cross-epoch strategy state is
+/// either here (previous_plan) or explicitly owned by the strategy (e.g.
+/// MilpAllocator's EpochContext).
+struct PlanRequest {
+  /// Frontend demand estimate (QPS) the plan must serve.
+  double demand_qps = 0.0;
+  /// Current multiplicative-factor estimates per (task, variant).
+  pipeline::MultFactorTable mult;
+  /// Observed arrival rate (QPS) per task since the last plan request.
+  /// Empty when nothing was observed yet (first epoch / offline probes).
+  /// Pipeline-agnostic strategies (Proteus) consume this instead of
+  /// propagating demand through the pipeline structure.
+  std::vector<double> task_arrivals_qps;
+  /// Simulation / wall time at which the request was issued (seconds).
+  double sim_time_s = 0.0;
+  /// Monotone control-epoch index (0 for the first request).
+  int epoch = 0;
+  /// View of the plan currently applied on the cluster, or nullptr on the
+  /// first epoch. Not owned; must stay alive for the duration of plan().
+  /// Strategies use it for plan-continuity regularization (the old hidden
+  /// prev_variants_ state, now caller-owned).
+  const AllocationPlan* previous_plan = nullptr;
+};
+
+/// Solve breakdown for one allocation step ("hardware" / "accuracy" /
+/// "overload", §4.1) across every budget split attempted for it.
+struct StepSolve {
+  std::string step;
+  double wall_s = 0.0;
+  int splits_attempted = 0;
+  int splits_feasible = 0;
+  /// Solver work spent in this step only.
+  SolverStats solver;
+  /// True for the step whose plan was returned.
+  bool selected = false;
+};
+
+/// Result of one plan() call: the plan itself plus the per-step solve
+/// accounting (aggregate solver counters also ride on plan.solver).
+struct PlanResult {
+  AllocationPlan plan;
+  /// One entry per allocation step attempted, in execution order. Non-MILP
+  /// strategies report a single synthetic step.
+  std::vector<StepSolve> steps;
+  /// Aggregate over steps; equals plan.solver.
+  SolverStats solver;
+  /// Echo of PlanRequest::epoch.
+  int epoch = 0;
+};
+
 /// Allocation strategy interface: Loki's MILP allocator and the InferLine /
 /// Proteus baselines all implement this, so the runtime and benches can swap
-/// them freely.
+/// them freely. Strategies are constructed by name through StrategyRegistry
+/// (see serving/strategy_registry.hpp); name() is the registry key and the
+/// single source of truth for figures, CSVs, and test expectations.
 class AllocationStrategy {
  public:
   virtual ~AllocationStrategy() = default;
 
-  /// Produces a plan for the given demand estimate and the current
-  /// multiplicative-factor estimates (observed at runtime, §4.2).
-  virtual AllocationPlan allocate(double demand_qps,
-                                  const pipeline::MultFactorTable& mult) = 0;
+  /// Produces a plan for one control epoch. The request carries the demand
+  /// estimate, multiplicative-factor estimates, observed per-task arrivals,
+  /// time/epoch bookkeeping, and a view of the previously applied plan.
+  virtual PlanResult plan(const PlanRequest& request) = 0;
 
   virtual std::string name() const = 0;
 
-  /// Per-task demand observations (QPS arriving at each task), which
-  /// pipeline-agnostic strategies (Proteus) use instead of the pipeline
-  /// structure. Called by the controller before allocate(). Default: ignore.
-  virtual void observe_task_demand(const std::vector<double>& /*qps*/) {}
+  /// Deprecated positional shim over plan() for pre-PlanRequest call sites.
+  /// Maintains its own epoch counter and previous-plan copy so repeated
+  /// calls behave like consecutive control epochs (matching the old
+  /// implicit prev_variants_ continuity). New code should build a
+  /// PlanRequest and call plan() directly.
+  AllocationPlan allocate(double demand_qps,
+                          const pipeline::MultFactorTable& mult);
+
+ private:
+  // State for the allocate() deprecation shim only.
+  AllocationPlan shim_prev_plan_;
+  bool shim_has_prev_ = false;
+  int shim_epochs_ = 0;
 };
 
 }  // namespace loki::serving

@@ -90,4 +90,11 @@ class LpProblem {
   double obj_offset_ = 0.0;
 };
 
+/// True when two problems describe the same mathematical model: same sense,
+/// objective offset, per-variable bounds/objective/type, and constraints
+/// (relation, rhs, and terms compared coefficient-for-coefficient; names are
+/// ignored). Comparison is exact floating-point equality — this is the
+/// cross-epoch warm-start gate, where "any doubt" must read as unequal.
+bool structurally_equal(const LpProblem& a, const LpProblem& b);
+
 }  // namespace loki::solver

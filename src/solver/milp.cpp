@@ -62,6 +62,12 @@ bool snap_integral(const LpProblem& p, std::vector<double>& x, double tol) {
 MilpSolution BranchAndBound::solve(
     const LpProblem& base,
     const std::optional<std::vector<double>>& warm_start) const {
+  return solve(base, warm_start, nullptr, false);
+}
+
+MilpSolution BranchAndBound::solve(
+    const LpProblem& base, const std::optional<std::vector<double>>& warm_start,
+    ResolveSession* session, bool model_unchanged) const {
   using Clock = std::chrono::steady_clock;
   const auto t_start = Clock::now();
   // The wall-clock budget makes results depend on machine speed: a slow host
@@ -83,6 +89,44 @@ MilpSolution BranchAndBound::solve(
   const double sense_sign = base.sense() == Sense::kMinimize ? 1.0 : -1.0;
   const int nv = base.num_variables();
 
+  // Cross-run fast path: the caller vouches the model is bit-identical to
+  // the one that built this session. Warm-start the root LP from the
+  // retained post-root basis (bounded dual simplex; zero pivots when nothing
+  // changed) and require it to reproduce the recorded root objective
+  // bit-for-bit. On success the retained solution — produced by a
+  // deterministic search over this exact model — is the answer; re-running
+  // the tree would redo identical work node by node. On any doubt, fall
+  // through to a cold rebuild below.
+  if (session != nullptr && model_unchanged && session->ctx != nullptr &&
+      session->root_state.valid() && session->has_solution &&
+      session->ctx->num_variables() == nv &&
+      session->ctx->num_rows() == base.num_constraints() &&
+      session->ctx->restore(session->root_state)) {
+    std::vector<double> lo(static_cast<std::size_t>(nv));
+    std::vector<double> hi(static_cast<std::size_t>(nv));
+    for (int j = 0; j < nv; ++j) {
+      lo[j] = base.lower_bound(j);
+      hi[j] = base.upper_bound(j);
+    }
+    LpSolution root = session->ctx->solve_with_bounds(lo, hi);
+    if (root.status == LpStatus::kOptimal &&
+        root.objective == session->root_objective) {
+      out = session->solution;
+      out.nodes_explored = 1;  // the verification re-solve
+      out.nodes_pruned = 0;
+      out.lp_iterations = root.iterations;
+      out.lp_phase1_iterations = root.phase1_iterations;
+      out.warm_start_hits = root.warm_started ? 1 : 0;
+      out.cold_solves = root.warm_started ? 0 : 1;
+      out.root_warm_started = true;
+      return out;
+    }
+  }
+  if (session != nullptr) {
+    // Rebuild from scratch: either the model changed or verification failed.
+    session->reset();
+  }
+
   // Incumbent tracked in minimization terms.
   double incumbent_obj = kInf;
   std::vector<double> incumbent;
@@ -98,8 +142,17 @@ MilpSolution BranchAndBound::solve(
   }
 
   // One shared standard-form instance for every node: nodes are pure bound
-  // overlays, and each LP warm-starts from the last solved basis.
-  SimplexContext ctx(base, options_.lp);
+  // overlays, and each LP warm-starts from the last solved basis. With a
+  // session the instance outlives this run; otherwise it is local.
+  std::unique_ptr<SimplexContext> local_ctx;
+  SimplexContext* ctx = nullptr;
+  if (session != nullptr) {
+    session->ctx = std::make_unique<SimplexContext>(base, options_.lp);
+    ctx = session->ctx.get();
+  } else {
+    local_ctx = std::make_unique<SimplexContext>(base, options_.lp);
+    ctx = local_ctx.get();
+  }
   std::vector<double> base_lo(static_cast<std::size_t>(nv));
   std::vector<double> base_hi(static_cast<std::size_t>(nv));
   for (int j = 0; j < nv; ++j) {
@@ -116,6 +169,7 @@ MilpSolution BranchAndBound::solve(
   double best_open_bound = -kInf;  // for gap reporting
   bool truncated = false;
   bool root_unbounded = false;
+  bool root_lp_pending = true;  // the first LP solved is always the root
 
   while (!open.empty()) {
     if (out.nodes_explored >= options_.max_nodes || Clock::now() >= deadline) {
@@ -151,7 +205,16 @@ MilpSolution BranchAndBound::solve(
       continue;
     }
 
-    LpSolution rel = ctx.solve_with_bounds(node_lo, node_hi);
+    LpSolution rel = ctx->solve_with_bounds(node_lo, node_hi);
+    if (root_lp_pending) {
+      // Retain the post-root tableau and its objective: the next run's
+      // warm-start verification re-solves from exactly this state.
+      root_lp_pending = false;
+      if (session != nullptr && rel.status == LpStatus::kOptimal) {
+        session->root_state = ctx->snapshot();
+        session->root_objective = rel.objective;
+      }
+    }
     ++out.nodes_explored;
     out.lp_iterations += rel.iterations;
     out.lp_phase1_iterations += rel.phase1_iterations;
@@ -241,6 +304,17 @@ MilpSolution BranchAndBound::solve(
     out.gap = std::max(0.0, incumbent_obj - best_open_bound);
     out.status = out.gap <= options_.gap_tol ? MilpStatus::kOptimal
                                              : MilpStatus::kFeasible;
+  }
+  // Retain the solution for the cross-run fast path only when re-running
+  // the search would provably reproduce it: either it is optimal (within
+  // gap_tol), or any truncation was driven by the deterministic node budget
+  // (deadline ignored). A *wall-clock*-truncated kFeasible incumbent is
+  // machine-speed dependent and could pin a gap > tol plan forever, so it
+  // is re-solved with a full budget on the next run instead.
+  if (session != nullptr && session->root_state.valid() &&
+      (out.status == MilpStatus::kOptimal || ignore_deadline)) {
+    session->solution = out;
+    session->has_solution = true;
   }
   return out;
 }

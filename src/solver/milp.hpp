@@ -14,6 +14,7 @@
 // handful of pivots instead of a full phase-1 + phase-2 run.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,8 +54,45 @@ struct MilpSolution {
                                  // (cold phase 1 or warm dual repair)
   int warm_start_hits = 0;       // node LPs resolved from the reused basis
   int cold_solves = 0;           // node LPs that ran a full two-phase solve
+  /// Root LP warm-started from a prior run's retained basis (cross-run /
+  /// cross-epoch warm start via ResolveSession).
+  bool root_warm_started = false;
   /// |best bound - incumbent|; 0 when proven optimal.
   double gap = 0.0;
+};
+
+/// Cross-run persistence surface for branch-and-bound. A session keeps the
+/// standard-form instance, a tableau snapshot taken right after the root LP
+/// solve, and the run's complete solution alive between solve() calls. A
+/// later run over a bit-identical model warm-starts its root from the
+/// retained basis: the bounded dual simplex re-verifies that basis (zero
+/// pivots when nothing changed) and must reproduce the recorded root
+/// objective bit-for-bit; only then is the retained solution returned —
+/// skipping the tree search, whose node-by-node dual repairs dominate a
+/// cold re-solve's pivot count. The search is deterministic, so the
+/// retained solution is exactly what re-running it would produce, making
+/// warm results bit-identical to cold ones. Any doubt — restore failure,
+/// a non-optimal warm root, or a root objective that differs in even one
+/// bit — falls back to a cold rebuild and a full search.
+///
+/// The *caller* owns the "is the model really unchanged?" judgement (see
+/// structurally_equal); on any doubt pass model_unchanged = false.
+/// MilpAllocator's EpochContext holds one session per (budget split,
+/// allocation step).
+struct ResolveSession {
+  std::unique_ptr<SimplexContext> ctx;
+  SimplexContext::Snapshot root_state;  // tableau right after the root solve
+  double root_objective = 0.0;          // root LP objective at snapshot time
+  bool has_solution = false;
+  MilpSolution solution;  // complete result of the last full search
+
+  void reset() {
+    ctx.reset();
+    root_state = SimplexContext::Snapshot();
+    root_objective = 0.0;
+    has_solution = false;
+    solution = MilpSolution();
+  }
 };
 
 class BranchAndBound {
@@ -67,6 +105,18 @@ class BranchAndBound {
   MilpSolution solve(const LpProblem& problem,
                      const std::optional<std::vector<double>>& warm_start =
                          std::nullopt) const;
+
+  /// Session-aware variant: persists the simplex context, post-root
+  /// snapshot, and solution in `session` across calls. When
+  /// `model_unchanged` is true the caller asserts `problem` is structurally
+  /// identical to the one that produced the session state; the root LP then
+  /// warm-starts from the retained basis via dual simplex and, once
+  /// verified, the retained solution is returned without re-running the
+  /// search. Any mismatch or failed verification falls back to a cold
+  /// rebuild of the session and a full search.
+  MilpSolution solve(const LpProblem& problem,
+                     const std::optional<std::vector<double>>& warm_start,
+                     ResolveSession* session, bool model_unchanged) const;
 
  private:
   MilpOptions options_;

@@ -70,6 +70,44 @@ SimplexContext::SimplexContext(const LpProblem& p, SimplexOptions options)
   state_.assign(static_cast<std::size_t>(n_), VarState::kAtLower);
 }
 
+SimplexContext::Snapshot SimplexContext::snapshot() const {
+  Snapshot s;
+  s.a = a_;
+  s.bvec = bvec_;
+  s.xb = xb_;
+  s.d = d_;
+  s.cost = cost_;
+  s.lo = lo_;
+  s.hi = hi_;
+  s.val = val_;
+  s.basis = basis_;
+  s.row_active = row_active_;
+  s.state = state_;
+  s.dual_feasible = basis_dual_feasible_;
+  s.since_refresh = since_refresh_;
+  s.n = n_;
+  s.m = m_;
+  return s;
+}
+
+bool SimplexContext::restore(const Snapshot& s) {
+  if (!s.valid() || s.n != n_ || s.m != m_) return false;
+  a_ = s.a;
+  bvec_ = s.bvec;
+  xb_ = s.xb;
+  d_ = s.d;
+  cost_ = s.cost;
+  lo_ = s.lo;
+  hi_ = s.hi;
+  val_ = s.val;
+  basis_ = s.basis;
+  row_active_ = s.row_active;
+  state_ = s.state;
+  basis_dual_feasible_ = s.dual_feasible;
+  since_refresh_ = s.since_refresh;
+  return true;
+}
+
 void SimplexContext::set_column_bounds_from(const std::vector<double>& lo,
                                             const std::vector<double>& hi) {
   for (int j = 0; j < nv_; ++j) {

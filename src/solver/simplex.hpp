@@ -60,9 +60,45 @@ struct SimplexOptions {
 /// dual-simplex-proven infeasible) solve the final basis is retained and the
 /// next solve_with_bounds() warm-starts from it.
 class SimplexContext {
+ private:
+  enum class VarState : unsigned char { kAtLower, kAtUpper, kBasic };
+
  public:
   explicit SimplexContext(const LpProblem& problem,
                           SimplexOptions options = {});
+
+  /// Opaque copy of the full tableau state: basis, B^-1 A, reduced costs,
+  /// column bounds and nonbasic states. Lets a caller park the context at a
+  /// known point (e.g. right after a root LP solve) and later replay solves
+  /// bit-identically: restoring a snapshot puts every float of the tableau
+  /// back exactly, so a re-solve of the same model continues with the exact
+  /// pivot sequence the original run took from that point. Only meaningful
+  /// with the context that produced it (restore() checks the shape).
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    bool valid() const { return n > 0; }
+
+   private:
+    friend class SimplexContext;
+    std::vector<double> a, bvec, xb, d, cost, lo, hi, val;
+    std::vector<int> basis;
+    std::vector<char> row_active;
+    std::vector<VarState> state;
+    bool dual_feasible = false;
+    int since_refresh = 0;
+    int n = 0;
+    int m = 0;
+  };
+
+  /// Captures the current tableau state (cheap relative to a solve: one
+  /// O(m*n) copy, no pivoting).
+  Snapshot snapshot() const;
+
+  /// Restores a snapshot taken from this context (or one of identical
+  /// shape). Returns false — leaving the context untouched — when the
+  /// snapshot is empty or its dimensions do not match.
+  bool restore(const Snapshot& s);
 
   /// Solves with the problem's own bounds (cold or warm).
   LpSolution solve();
@@ -79,7 +115,6 @@ class SimplexContext {
   bool has_warm_basis() const { return basis_dual_feasible_; }
 
  private:
-  enum class VarState : unsigned char { kAtLower, kAtUpper, kBasic };
   enum class DualResult : unsigned char {
     kFeasible,    // primal feasibility restored; basis stayed dual-feasible
     kInfeasible,  // a violated row cannot be repaired: LP is infeasible

@@ -23,6 +23,19 @@ struct Fixture {
   }
 };
 
+/// One plan() call with observed per-task arrivals riding in the request
+/// (the old observe_task_demand side-channel, now part of PlanRequest).
+serving::AllocationPlan plan_with_arrivals(
+    serving::AllocationStrategy& s, double demand_qps,
+    const pipeline::MultFactorTable& mult,
+    std::vector<double> arrivals = {}) {
+  serving::PlanRequest req;
+  req.demand_qps = demand_qps;
+  req.mult = mult;
+  req.task_arrivals_qps = std::move(arrivals);
+  return s.plan(req).plan;
+}
+
 TEST(InferLine, HostsOnlyMostAccurateVariants) {
   Fixture f;
   InferLineStrategy s(f.cfg, &f.graph, f.profiles);
@@ -87,14 +100,19 @@ TEST(Proteus, AlwaysUsesWholeCluster) {
   }
 }
 
-TEST(Proteus, TracksObservedTaskDemand) {
+TEST(Proteus, TracksTaskArrivalsFromPlanRequests) {
   Fixture f;
   ProteusStrategy s(f.cfg, &f.graph, f.profiles);
-  s.observe_task_demand({100.0, 140.0, 70.0});
+  plan_with_arrivals(s, 100.0, f.mult, {100.0, 140.0, 70.0});
   EXPECT_NEAR(s.task_demand()[1], 140.0, 1e-9);
-  s.observe_task_demand({100.0, 0.0, 70.0});
+  plan_with_arrivals(s, 100.0, f.mult, {100.0, 0.0, 70.0});
   EXPECT_GT(s.task_demand()[1], 0.0);   // EWMA, not instant
   EXPECT_LT(s.task_demand()[1], 140.0);
+  // An empty observation vector (nothing seen this epoch) leaves the
+  // estimates untouched.
+  const double before = s.task_demand()[1];
+  plan_with_arrivals(s, 100.0, f.mult);
+  EXPECT_DOUBLE_EQ(s.task_demand()[1], before);
 }
 
 TEST(Proteus, UnderProvisionsDownstreamBeforeObservation) {
@@ -118,8 +136,8 @@ TEST(Proteus, UnderProvisionsDownstreamBeforeObservation) {
   const auto informed_demand = std::vector<double>{
       400.0, 400.0 * 2.1 * 2.0 / 3.0, 400.0 * 2.1 / 3.0};
   ProteusStrategy informed(f.cfg, &f.graph, f.profiles);
-  informed.observe_task_demand(informed_demand);
-  const auto plan2 = informed.allocate(400.0, f.mult);
+  const auto plan2 =
+      plan_with_arrivals(informed, 400.0, f.mult, informed_demand);
   int downstream2 = 0;
   for (const auto& ic : plan2.instances) {
     if (ic.task != 0) downstream2 += ic.replicas;
@@ -131,16 +149,16 @@ TEST(Proteus, DegradesTaskAccuracyUnderPressure) {
   Fixture f;
   ProteusStrategy s(f.cfg, &f.graph, f.profiles);
   // Observed demand that exceeds best-variant capacity.
-  s.observe_task_demand({900.0, 1260.0, 630.0});
-  const auto plan = s.allocate(900.0, f.mult);
+  const auto plan =
+      plan_with_arrivals(s, 900.0, f.mult, {900.0, 1260.0, 630.0});
   EXPECT_LT(plan.expected_accuracy, 1.0);
 }
 
 TEST(Proteus, PlansStayWithinCluster) {
   Fixture f;
   ProteusStrategy s(f.cfg, &f.graph, f.profiles);
-  s.observe_task_demand({5000.0, 7000.0, 2000.0});
-  const auto plan = s.allocate(5000.0, f.mult);
+  const auto plan =
+      plan_with_arrivals(s, 5000.0, f.mult, {5000.0, 7000.0, 2000.0});
   EXPECT_LE(plan.total_replicas(), f.cfg.cluster_size);
   EXPECT_LE(plan.served_fraction, 1.0);
 }

@@ -32,7 +32,7 @@ trace::DemandCurve smoke_curve() {
 
 exp::ExperimentConfig smoke_config() {
   exp::ExperimentConfig cfg;
-  cfg.system = exp::SystemKind::kLoki;
+  cfg.system = "loki-milp";
   cfg.system_cfg.allocator.cluster_size = 8;
   cfg.system_cfg.allocator.slo_s = 0.250;
   cfg.arrivals.seed = test::test_seed("e2e_smoke_arrivals");
@@ -47,9 +47,8 @@ TEST(E2ESmoke, PlanServesMiniatureDemandWithinCluster) {
   profile::ModelProfiler profiler;
   const serving::ProfileTable profiles =
       serving::build_profile_table(graph, profiler);
-  auto strategy = exp::make_strategy(exp::SystemKind::kLoki,
-                                     cfg.system_cfg.allocator, &graph,
-                                     profiles);
+  auto strategy = exp::make_strategy("loki-milp", cfg.system_cfg.allocator,
+                                     &graph, profiles);
   ASSERT_NE(strategy, nullptr);
 
   const auto probe = exp::probe_plan(*strategy, graph, curve.peak());

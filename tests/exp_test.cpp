@@ -10,7 +10,19 @@
 namespace loki::exp {
 namespace {
 
-TEST(MakeStrategy, AllKindsConstructible) {
+TEST(MakeStrategy, AllRegisteredNamesConstructible) {
+  const auto graph = pipeline::traffic_analysis_pipeline();
+  const auto profiles =
+      serving::build_profile_table(graph, profile::ModelProfiler());
+  serving::AllocatorConfig cfg;
+  for (const char* name : {"loki-milp", "inferline", "proteus", "greedy"}) {
+    auto s = make_strategy(name, cfg, &graph, profiles);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+  }
+}
+
+TEST(MakeStrategy, SystemKindShimMapsToRegistryKeys) {
   const auto graph = pipeline::traffic_analysis_pipeline();
   const auto profiles =
       serving::build_profile_table(graph, profile::ModelProfiler());
@@ -19,7 +31,8 @@ TEST(MakeStrategy, AllKindsConstructible) {
                     SystemKind::kProteus, SystemKind::kGreedy}) {
     auto s = make_strategy(kind, cfg, &graph, profiles);
     ASSERT_NE(s, nullptr);
-    EXPECT_FALSE(s->name().empty());
+    // The registry key is the single source of truth for names.
+    EXPECT_EQ(s->name(), to_string(kind));
   }
 }
 
@@ -51,7 +64,7 @@ TEST(FindCapacity, BisectsServableBoundary) {
   EXPECT_GT(cap, 500.0);
   EXPECT_LT(cap, 20000.0);
   // The boundary is genuine: capacity+10% is not servable in full.
-  const auto over = alloc.allocate(cap * 1.15, mult);
+  const auto over = probe_plan(alloc, graph, cap * 1.15);
   EXPECT_LT(over.served_fraction, 1.0);
 }
 
@@ -76,15 +89,15 @@ TEST(RunExperiment, SmokeAllSystems) {
   tcfg.duration_s = 30.0;
   tcfg.peak_qps = 200.0;
   const auto curve = trace::generate_trace(tcfg);
-  for (auto kind : {SystemKind::kLoki, SystemKind::kInferLine,
-                    SystemKind::kProteus}) {
+  for (const char* system : {"loki-milp", "inferline", "proteus"}) {
     ExperimentConfig cfg;
-    cfg.system = kind;
+    cfg.system = system;
     cfg.system_cfg.allocator.cluster_size = 20;
     const auto result = run_experiment(graph, curve, cfg);
-    EXPECT_GT(result.arrivals, 1000u) << to_string(kind);
-    EXPECT_GE(result.mean_accuracy, 0.5) << to_string(kind);
-    EXPECT_GE(result.allocations, 1) << to_string(kind);
+    EXPECT_EQ(result.system_name, system);
+    EXPECT_GT(result.arrivals, 1000u) << system;
+    EXPECT_GE(result.mean_accuracy, 0.5) << system;
+    EXPECT_GE(result.allocations, 1) << system;
   }
 }
 

@@ -176,7 +176,7 @@ TEST_P(EndToEndSeeds, AccountingConservation) {
   const auto curve = trace::generate_trace(tcfg);
 
   exp::ExperimentConfig cfg;
-  cfg.system = exp::SystemKind::kLoki;
+  cfg.system = "loki-milp";
   cfg.system_cfg.seed = static_cast<std::uint64_t>(seed) * 13 + 5;
   cfg.drain_s = 20.0;  // long drain: almost everything resolves
   const auto r = exp::run_experiment(graph, curve, cfg);
