@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "solver/milp.hpp"
+#include "solver/presolve.hpp"
 #include "solver/simplex.hpp"
 
 namespace {
@@ -53,6 +54,93 @@ void BM_RawSimplexSize(benchmark::State& state) {
   state.counters["pivots"] = benchmark::Counter(static_cast<double>(pivots));
 }
 BENCHMARK(BM_RawSimplexSize)->Arg(30)->Arg(60)->Arg(120)->Unit(
+    benchmark::kMicrosecond);
+
+// Dantzig vs devex pricing on the same LP: the wall-time and pivot deltas
+// of reference-weight pricing in isolation.
+void BM_RawSimplexPricing(benchmark::State& state) {
+  const int n = 120;
+  const LpProblem p = boxed_lp(n, 3);
+  SimplexOptions opt;
+  opt.pricing = state.range(0) == 0 ? PricingRule::kDantzig
+                                    : PricingRule::kDevex;
+  SimplexSolver solver(opt);
+  int pivots = 0;
+  int resets = 0;
+  for (auto _ : state) {
+    auto sol = solver.solve(p);
+    benchmark::DoNotOptimize(sol.objective);
+    pivots = sol.iterations;
+    resets = sol.devex_resets;
+  }
+  state.counters["pivots"] = benchmark::Counter(static_cast<double>(pivots));
+  state.counters["devex_resets"] =
+      benchmark::Counter(static_cast<double>(resets));
+}
+BENCHMARK(BM_RawSimplexPricing)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMicrosecond);
+
+// Presolve on/off over the allocation-shaped MILP of BM_BnbAllocationShaped:
+// rows/cols removed and the pivot/node effect of searching in the reduced
+// space.
+void BM_BnbPresolveAblation(benchmark::State& state) {
+  Rng rng(29);
+  LpProblem p(Sense::kMaximize);
+  const int tasks = 4;
+  const int variants = 3;
+  const double demand = 120.0;
+  Constraint cluster;
+  std::vector<std::vector<int>> n_var(tasks);
+  for (int t = 0; t < tasks; ++t) {
+    for (int k = 0; k < variants; ++k) {
+      const int v = p.add_variable(
+          "n_" + std::to_string(t) + "_" + std::to_string(k), 0, kInf,
+          -1e-6, VarType::kInteger);
+      n_var[t].push_back(v);
+      cluster.terms.push_back({v, 1.0});
+    }
+  }
+  std::vector<int> c_var;
+  Constraint flow;
+  for (int k = 0; k < variants; ++k) {
+    const int c = p.add_variable("c_" + std::to_string(k), 0, kInf,
+                                 1.0 - 0.07 * k);
+    c_var.push_back(c);
+    flow.terms.push_back({c, 1.0});
+  }
+  flow.rel = Relation::kEq;
+  flow.rhs = 1.0;
+  p.add_constraint(std::move(flow));
+  for (int t = 0; t < tasks; ++t) {
+    for (int k = 0; k < variants; ++k) {
+      const double q = rng.uniform(8.0, 30.0) * (1 + k);
+      p.add_constraint({{{c_var[k], demand}, {n_var[t][k], -q}},
+                        Relation::kLe,
+                        0.0,
+                        ""});
+    }
+  }
+  cluster.rel = Relation::kLe;
+  cluster.rhs = 22.0;
+  p.add_constraint(std::move(cluster));
+  MilpOptions opts;
+  opts.presolve = state.range(0) != 0;
+  BranchAndBound bnb(opts);
+  MilpSolution last;
+  for (auto _ : state) {
+    last = bnb.solve(p);
+    benchmark::DoNotOptimize(last.objective);
+  }
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(last.nodes_explored));
+  state.counters["lp_pivots"] =
+      benchmark::Counter(static_cast<double>(last.lp_iterations));
+  state.counters["presolve_rows_removed"] =
+      benchmark::Counter(static_cast<double>(last.presolve_rows_removed));
+  state.counters["presolve_cols_removed"] =
+      benchmark::Counter(static_cast<double>(last.presolve_cols_removed));
+}
+BENCHMARK(BM_BnbPresolveAblation)->Arg(0)->Arg(1)->Unit(
     benchmark::kMicrosecond);
 
 // Branch-and-bound node access pattern: one shared context, bounds overlay

@@ -65,6 +65,14 @@ void BM_ResourceManagerMilp(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(last.warm_start_hits));
   state.counters["cold_solves"] =
       benchmark::Counter(static_cast<double>(last.cold_solves));
+  state.counters["devex_resets"] =
+      benchmark::Counter(static_cast<double>(last.devex_resets));
+  state.counters["presolve_rows_removed"] =
+      benchmark::Counter(static_cast<double>(last.presolve_rows_removed));
+  state.counters["presolve_cols_removed"] =
+      benchmark::Counter(static_cast<double>(last.presolve_cols_removed));
+  state.counters["near_warm_hits"] =
+      benchmark::Counter(static_cast<double>(last.near_warm_hits));
 }
 BENCHMARK(BM_ResourceManagerMilp)
     ->Arg(100)    // hardware-scaling regime

@@ -96,7 +96,9 @@ for name in ("abl_solver", "tab_runtime_overhead"):
             if key in ("pivots", "bound_flips", "pivots_per_resolve",
                        "warm_fraction", "lp_pivots", "phase1_pivots",
                        "nodes", "warm_hits", "cold_solves",
-                       "epoch_warm_hits", "epoch_cache_skips", "milp_solves"):
+                       "epoch_warm_hits", "epoch_cache_skips", "milp_solves",
+                       "devex_resets", "presolve_rows_removed",
+                       "presolve_cols_removed", "near_warm_hits"):
                 entry[key] = value
         merged["benchmarks"].append(entry)
 with open(out_path, "w") as f:

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gate on solver pivot-count regressions.
+
+Compares the cold 3-step allocation pivot total of a fresh BENCH_solver.json
+(the sum of lp_pivots over the BM_ResourceManagerMilp cases) against the
+checked-in baseline and fails when it regressed by more than the allowed
+fraction. Pivot counters are deterministic (seeded models, deterministic
+node budgets under LOKI_MILP_NO_TIME_LIMIT=1), so unlike wall times they are
+comparable across hosts and safe to gate CI on.
+
+Usage: check_bench_regression.py CANDIDATE.json [--baseline PATH]
+                                 [--max-regress FRACTION]
+Exit codes: 0 ok, 1 regression, 2 usage/malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+COLD_BENCH_PREFIX = "BM_ResourceManagerMilp/"
+
+
+def cold_pivot_total(report_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    total = 0.0
+    cases = 0
+    for bench in report.get("benchmarks", []):
+        if not bench.get("name", "").startswith(COLD_BENCH_PREFIX):
+            continue
+        if "lp_pivots" not in bench:
+            raise ValueError(f"{bench['name']} has no lp_pivots counter")
+        total += bench["lp_pivots"]
+        cases += 1
+    if cases == 0:
+        raise ValueError(
+            f"no {COLD_BENCH_PREFIX}* benchmarks in {report_path}")
+    return total, cases
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("candidate", help="freshly generated BENCH_solver.json")
+    ap.add_argument("--baseline", default="bench/BENCH_solver_baseline.json")
+    ap.add_argument("--max-regress", type=float, default=0.20,
+                    help="allowed fractional increase over baseline")
+    args = ap.parse_args()
+
+    try:
+        base_total, base_cases = cold_pivot_total(args.baseline)
+        cand_total, cand_cases = cold_pivot_total(args.candidate)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: {e}", file=sys.stderr)
+        return 2
+
+    limit = base_total * (1.0 + args.max_regress)
+    verdict = "OK" if cand_total <= limit else "REGRESSION"
+    print(f"cold 3-step allocation pivots: candidate {cand_total:.0f} "
+          f"({cand_cases} cases) vs baseline {base_total:.0f} "
+          f"({base_cases} cases); limit {limit:.0f} "
+          f"[+{100 * args.max_regress:.0f}%] -> {verdict}")
+    if cand_total > limit:
+        print("If this increase is intended (e.g. a deliberate trade-off), "
+              "regenerate the baseline with scripts/bench_solver.sh and "
+              "commit bench/BENCH_solver_baseline.json.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

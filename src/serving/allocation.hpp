@@ -52,6 +52,16 @@ struct AllocatorConfig {
   /// only changes how many pivots the re-solve costs. Benches measuring
   /// cold re-plan latency switch it off.
   bool warm_start_across_epochs = true;
+  /// Opt-in near-identical warm tier (default OFF so existing plans stay
+  /// bit-identical): when the bit-identical gate fails only on drifted
+  /// coefficients — same model shape, sparsity, bounds and integrality,
+  /// e.g. a slow demand ramp — crash-start the step's root LP from the
+  /// previous epoch's retained basis and seed branch-and-bound with the
+  /// previous incumbent, instead of cold-solving. Plans may then drift
+  /// within the MILP optimality gap (they are still exact solves of the
+  /// *current* model; only pivot counts and tie-breaking change relative
+  /// to a cold solve).
+  bool near_warm_start = false;
   solver::MilpOptions milp = default_milp_options();
 
   static solver::MilpOptions default_milp_options();
@@ -64,6 +74,17 @@ struct VariantConfig {
   double throughput_qps = 0.0;  // q(i,k,b*) at the chosen batch
   double latency_s = 0.0;       // profiled batch execution latency
 };
+
+/// Exact equality — the selective-invalidation check: a re-profiled variant
+/// whose chosen config is bit-identical under a split's budgets invalidates
+/// nothing in that split.
+inline bool operator==(const VariantConfig& a, const VariantConfig& b) {
+  return a.variant == b.variant && a.batch == b.batch &&
+         a.throughput_qps == b.throughput_qps && a.latency_s == b.latency_s;
+}
+inline bool operator!=(const VariantConfig& a, const VariantConfig& b) {
+  return !(a == b);
+}
 
 /// Profiles for every variant of every task: profiles[task][variant].
 using ProfileTable = std::vector<std::vector<profile::BatchProfile>>;
@@ -147,6 +168,19 @@ class MilpAllocator : public AllocationStrategy {
   /// and every retained solver basis), forcing the next plan() to rebuild
   /// and cold-solve everything. Plans are unaffected.
   void reset_epoch_context();
+
+  /// Applies a re-profiled variant (a profile-table update) and invalidates
+  /// only the EpochContext caches it actually affects, instead of the
+  /// reset_epoch_context() sledgehammer: budget splits and task budgets
+  /// never depend on profiles and always survive; a split keeps its
+  /// feasible-config tables, path enumerations, and retained solver
+  /// sessions whenever the variant's chosen config under that split's
+  /// budgets is unchanged; and the hardware-step caches are dropped only
+  /// when the task's most-accurate-variant view changed. Subsequent plans
+  /// are exactly what a full reset would produce — only the amount of
+  /// retained warm-start state differs.
+  void update_profile(int task, int variant,
+                      const profile::BatchProfile& profile);
 
   /// Explicit cross-epoch state (defined in allocation.cpp). Owns, per
   /// budget split: the cached task budgets, feasible-config tables and

@@ -1,5 +1,7 @@
 #include "serving/types.hpp"
 
+#include <algorithm>
+
 #include "solver/milp.hpp"
 
 namespace loki::serving {
@@ -14,6 +16,11 @@ SolverStats& SolverStats::operator+=(const SolverStats& o) {
   cold_solves += o.cold_solves;
   epoch_warm_hits += o.epoch_warm_hits;
   epoch_cache_skips += o.epoch_cache_skips;
+  near_warm_hits += o.near_warm_hits;
+  devex_resets += o.devex_resets;
+  presolve_rows_removed += o.presolve_rows_removed;
+  presolve_cols_removed += o.presolve_cols_removed;
+  max_gap = std::max(max_gap, o.max_gap);
   return *this;
 }
 
@@ -26,6 +33,11 @@ void SolverStats::add(const solver::MilpSolution& sol) {
   warm_start_hits += sol.warm_start_hits;
   cold_solves += sol.cold_solves;
   if (sol.root_warm_started) ++epoch_warm_hits;
+  if (sol.root_near_warm) ++near_warm_hits;
+  devex_resets += sol.devex_resets;
+  presolve_rows_removed += sol.presolve_rows_removed;
+  presolve_cols_removed += sol.presolve_cols_removed;
+  max_gap = std::max(max_gap, sol.gap);
 }
 
 AllocationPlan AllocationStrategy::allocate(

@@ -57,6 +57,20 @@ struct SolverStats {
   /// wholesale because the model was bit-identical to the previous epoch's;
   /// no solver work was spent at all.
   int epoch_cache_skips = 0;
+  /// MILP solves whose root LP crash-started from a *near-identical*
+  /// previous epoch's basis (same model shape, drifted coefficients — the
+  /// opt-in near warm tier; the tree search still ran).
+  int near_warm_hits = 0;
+  /// Devex reference-frame resets across all node LPs.
+  int devex_resets = 0;
+  /// Rows / columns presolve removed before the tableaus were built,
+  /// summed over all MILP solves.
+  int presolve_rows_removed = 0;
+  int presolve_cols_removed = 0;
+  /// Largest |best bound - incumbent| any branch-and-bound run reported
+  /// (0 when every solve proved optimality): how far any plan of this
+  /// epoch can sit from its model's true optimum.
+  double max_gap = 0.0;
 
   SolverStats& operator+=(const SolverStats& o);
   /// Folds one branch-and-bound result into the tally (bumps milp_solves).

@@ -126,6 +126,36 @@ bool structurally_equal(const LpProblem& a, const LpProblem& b) {
   return true;
 }
 
+bool same_constraint_sparsity(const LpProblem& a, const LpProblem& b) {
+  if (a.num_constraints() != b.num_constraints()) return false;
+  const auto& ca = a.constraints();
+  const auto& cb = b.constraints();
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i].rel != cb[i].rel ||
+        ca[i].terms.size() != cb[i].terms.size()) {
+      return false;
+    }
+    for (std::size_t t = 0; t < ca[i].terms.size(); ++t) {
+      if (ca[i].terms[t].first != cb[i].terms[t].first) return false;
+    }
+  }
+  return true;
+}
+
+bool near_identical(const LpProblem& a, const LpProblem& b) {
+  if (a.sense() != b.sense() || a.num_variables() != b.num_variables()) {
+    return false;
+  }
+  for (int j = 0; j < a.num_variables(); ++j) {
+    if (a.lower_bound(j) != b.lower_bound(j) ||
+        a.upper_bound(j) != b.upper_bound(j) ||
+        a.var_type(j) != b.var_type(j)) {
+      return false;
+    }
+  }
+  return same_constraint_sparsity(a, b);
+}
+
 std::string LpProblem::to_string() const {
   std::ostringstream os;
   os << (sense_ == Sense::kMinimize ? "min" : "max");

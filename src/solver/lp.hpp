@@ -97,4 +97,21 @@ class LpProblem {
 /// cross-epoch warm-start gate, where "any doubt" must read as unequal.
 bool structurally_equal(const LpProblem& a, const LpProblem& b);
 
+/// True when `b` is the same model as `a` up to drifted *numbers*: same
+/// sense, dimensions, variable bounds and integrality, same constraint
+/// relations and sparsity pattern (term indices per row), but objective
+/// coefficients, constraint coefficient values, and right-hand sides may
+/// differ. This is the near-identical warm-start gate: a retained basis
+/// from `a` is still a (combinatorially meaningful) basis for `b`, so a
+/// solve of `b` can crash-start from it — accepting plan drift within the
+/// optimality gap, unlike the bit-identical structurally_equal tier.
+bool near_identical(const LpProblem& a, const LpProblem& b);
+
+/// True when `a` and `b` have the same constraint count, relations, and
+/// term sparsity pattern (term indices per row); coefficient values and
+/// right-hand sides are ignored. The shared building block of the
+/// near-identical gates (near_identical here, reduced-space compatibility
+/// in the MILP session).
+bool same_constraint_sparsity(const LpProblem& a, const LpProblem& b);
+
 }  // namespace loki::solver

@@ -38,8 +38,11 @@ struct Node {
 };
 
 struct NodeCompare {
-  // Best-first: smaller bound first (minimization); FIFO on ties.
+  // kBestFirst: smaller bound first (minimization), FIFO on ties.
+  // kDepthFirst: most recent node first (LIFO dive).
+  bool depth_first = false;
   bool operator()(const Node& a, const Node& b) const {
+    if (depth_first) return a.seq < b.seq;
     if (a.bound != b.bound) return a.bound > b.bound;
     return a.seq > b.seq;
   }
@@ -57,17 +60,35 @@ bool snap_integral(const LpProblem& p, std::vector<double>& x, double tol) {
   return true;
 }
 
+// The near-identical tier requires the old and new *reduced* problems to
+// live in the same combinatorial space: identical original->reduced
+// variable mapping and surviving-row list, identical variable types, and
+// identical constraint relations + sparsity. Coefficient values, bounds,
+// objectives and scale factors may all differ — a basis carries over
+// regardless.
+bool reductions_compatible(const PresolveResult& a, const PresolveResult& b) {
+  if (a.post.reduced_index() != b.post.reduced_index()) return false;
+  if (a.post.kept_rows() != b.post.kept_rows()) return false;
+  const LpProblem& pa = a.problem;
+  const LpProblem& pb = b.problem;
+  if (pa.num_variables() != pb.num_variables()) return false;
+  for (int j = 0; j < pa.num_variables(); ++j) {
+    if (pa.var_type(j) != pb.var_type(j)) return false;
+  }
+  return same_constraint_sparsity(pa, pb);
+}
+
 }  // namespace
 
 MilpSolution BranchAndBound::solve(
     const LpProblem& base,
     const std::optional<std::vector<double>>& warm_start) const {
-  return solve(base, warm_start, nullptr, false);
+  return solve(base, warm_start, nullptr, WarmTier::kCold);
 }
 
 MilpSolution BranchAndBound::solve(
     const LpProblem& base, const std::optional<std::vector<double>>& warm_start,
-    ResolveSession* session, bool model_unchanged) const {
+    ResolveSession* session, WarmTier tier) const {
   using Clock = std::chrono::steady_clock;
   const auto t_start = Clock::now();
   // The wall-clock budget makes results depend on machine speed: a slow host
@@ -87,59 +108,127 @@ MilpSolution BranchAndBound::solve(
 
   MilpSolution out;
   const double sense_sign = base.sense() == Sense::kMinimize ? 1.0 : -1.0;
-  const int nv = base.num_variables();
+  const int nv_orig = base.num_variables();
 
-  // Cross-run fast path: the caller vouches the model is bit-identical to
-  // the one that built this session. Warm-start the root LP from the
-  // retained post-root basis (bounded dual simplex; zero pivots when nothing
-  // changed) and require it to reproduce the recorded root objective
-  // bit-for-bit. On success the retained solution — produced by a
-  // deterministic search over this exact model — is the answer; re-running
-  // the tree would redo identical work node by node. On any doubt, fall
-  // through to a cold rebuild below.
-  if (session != nullptr && model_unchanged && session->ctx != nullptr &&
-      session->root_state.valid() && session->has_solution &&
-      session->ctx->num_variables() == nv &&
-      session->ctx->num_rows() == base.num_constraints() &&
-      session->ctx->restore(session->root_state)) {
-    std::vector<double> lo(static_cast<std::size_t>(nv));
-    std::vector<double> hi(static_cast<std::size_t>(nv));
-    for (int j = 0; j < nv; ++j) {
-      lo[j] = base.lower_bound(j);
-      hi[j] = base.upper_bound(j);
+  // Cross-run fast path (bit-identical tier): the caller vouches the model
+  // is bit-identical to the one that built this session. Warm-start the
+  // root LP from the retained post-root basis (bounded dual simplex; zero
+  // pivots when nothing changed) and require it to reproduce the recorded
+  // root objective bit-for-bit. On success the retained solution — produced
+  // by a deterministic search over this exact model — is the answer;
+  // re-running the tree would redo identical work node by node. On any
+  // doubt, fall through to a cold rebuild below. The presolve of an
+  // identical model is identical (presolve is deterministic), so the
+  // retained reduced-space context verifies against the retained reduced
+  // bounds without re-running presolve.
+  if (session != nullptr && tier == WarmTier::kIdentical &&
+      session->ctx != nullptr && session->root_state.valid() &&
+      session->has_solution) {
+    const LpProblem& red =
+        session->has_pre ? session->pre.problem : base;
+    const int nv_red = red.num_variables();
+    if (session->ctx->num_variables() == nv_red &&
+        session->ctx->num_rows() == red.num_constraints() &&
+        (session->has_pre || nv_red == nv_orig) &&
+        session->ctx->restore(session->root_state)) {
+      std::vector<double> lo(static_cast<std::size_t>(nv_red));
+      std::vector<double> hi(static_cast<std::size_t>(nv_red));
+      for (int j = 0; j < nv_red; ++j) {
+        lo[j] = red.lower_bound(j);
+        hi[j] = red.upper_bound(j);
+      }
+      LpSolution root = session->ctx->solve_with_bounds(lo, hi);
+      if (root.status == LpStatus::kOptimal &&
+          root.objective == session->root_objective) {
+        out = session->solution;
+        out.nodes_explored = 1;  // the verification re-solve
+        out.nodes_pruned = 0;
+        out.lp_iterations = root.iterations;
+        out.lp_phase1_iterations = root.phase1_iterations;
+        out.devex_resets = root.devex_resets;
+        out.warm_start_hits = root.warm_started ? 1 : 0;
+        out.cold_solves = root.warm_started ? 0 : 1;
+        out.root_warm_started = true;
+        out.root_near_warm = false;
+        return out;
+      }
     }
-    LpSolution root = session->ctx->solve_with_bounds(lo, hi);
-    if (root.status == LpStatus::kOptimal &&
-        root.objective == session->root_objective) {
-      out = session->solution;
-      out.nodes_explored = 1;  // the verification re-solve
-      out.nodes_pruned = 0;
-      out.lp_iterations = root.iterations;
-      out.lp_phase1_iterations = root.phase1_iterations;
-      out.warm_start_hits = root.warm_started ? 1 : 0;
-      out.cold_solves = root.warm_started ? 0 : 1;
-      out.root_warm_started = true;
+  }
+
+  // Presolve the model once per run; the whole search operates in the
+  // reduced space and maps solutions back through the postsolve record.
+  PresolveResult pre_local;
+  const bool use_pre = options_.presolve;
+  if (use_pre) {
+    pre_local = presolve(base, options_.presolve_options);
+    out.presolve_rows_removed = pre_local.stats.rows_removed;
+    out.presolve_cols_removed = pre_local.stats.cols_removed;
+    if (pre_local.infeasible) {
+      if (session != nullptr) session->reset();
+      out.status = MilpStatus::kInfeasible;
+      return out;
+    }
+    if (pre_local.problem.num_variables() == 0) {
+      // Every variable was fixed: the model is solved (or refuted) outright.
+      if (session != nullptr) session->reset();
+      std::vector<double> x = pre_local.post.restore_point({});
+      if (base.is_feasible(x, 1e-6)) {
+        out.status = MilpStatus::kOptimal;
+        out.values = std::move(x);
+        out.objective = base.objective_value(out.values);
+      } else {
+        out.status = MilpStatus::kInfeasible;
+      }
       return out;
     }
   }
-  if (session != nullptr) {
-    // Rebuild from scratch: either the model changed or verification failed.
-    session->reset();
+
+  // Near-identical tier: capture the retained root basis and solution
+  // before the session is reset, and validate that the old and new reduced
+  // spaces are combinatorially the same.
+  SimplexContext::BasisSnapshot near_basis;
+  std::optional<std::vector<double>> near_incumbent;
+  if (session != nullptr && tier == WarmTier::kNearIdentical &&
+      session->root_basis.valid() && session->has_solution &&
+      session->has_pre == use_pre &&
+      (!use_pre || reductions_compatible(session->pre, pre_local))) {
+    near_basis = session->root_basis;
+    near_incumbent = session->solution.values;  // original space
   }
 
-  // Incumbent tracked in minimization terms.
+  PresolveResult* pre = &pre_local;
+  if (session != nullptr) {
+    // Rebuild from scratch: the model changed (or verification failed).
+    session->reset();
+    session->pre = std::move(pre_local);
+    session->has_pre = use_pre;
+    pre = &session->pre;
+  }
+  const LpProblem& red = use_pre ? pre->problem : base;
+  const int nv = red.num_variables();
+
+  // Incumbent tracked in the ORIGINAL space and in minimization terms;
+  // candidates are the caller's warm start and, on the near tier, the
+  // previous run's solution (still integer-feasible under small demand
+  // drift more often than not).
   double incumbent_obj = kInf;
   std::vector<double> incumbent;
-  if (warm_start) {
-    std::vector<double> x = *warm_start;
+  auto offer_incumbent = [&](const std::vector<double>& cand) {
+    if (static_cast<int>(cand.size()) != nv_orig) return;
+    std::vector<double> x = cand;
     if (base.is_feasible(x, 1e-6) && snap_integral(base, x, 1e-6) &&
         base.is_feasible(x, 1e-6)) {
-      incumbent = std::move(x);
-      incumbent_obj = sense_sign * base.objective_value(incumbent);
+      const double obj = sense_sign * base.objective_value(x);
+      if (obj < incumbent_obj) {
+        incumbent_obj = obj;
+        incumbent = std::move(x);
+      }
     } else {
       LOG_DEBUG("MILP warm start rejected (not integer-feasible)");
     }
-  }
+  };
+  if (warm_start) offer_incumbent(*warm_start);
+  if (near_incumbent) offer_incumbent(*near_incumbent);
 
   // One shared standard-form instance for every node: nodes are pure bound
   // overlays, and each LP warm-starts from the last solved basis. With a
@@ -147,22 +236,23 @@ MilpSolution BranchAndBound::solve(
   std::unique_ptr<SimplexContext> local_ctx;
   SimplexContext* ctx = nullptr;
   if (session != nullptr) {
-    session->ctx = std::make_unique<SimplexContext>(base, options_.lp);
+    session->ctx = std::make_unique<SimplexContext>(red, options_.lp);
     ctx = session->ctx.get();
   } else {
-    local_ctx = std::make_unique<SimplexContext>(base, options_.lp);
+    local_ctx = std::make_unique<SimplexContext>(red, options_.lp);
     ctx = local_ctx.get();
   }
   std::vector<double> base_lo(static_cast<std::size_t>(nv));
   std::vector<double> base_hi(static_cast<std::size_t>(nv));
   for (int j = 0; j < nv; ++j) {
-    base_lo[j] = base.lower_bound(j);
-    base_hi[j] = base.upper_bound(j);
+    base_lo[j] = red.lower_bound(j);
+    base_hi[j] = red.upper_bound(j);
   }
   std::vector<double> node_lo(static_cast<std::size_t>(nv));
   std::vector<double> node_hi(static_cast<std::size_t>(nv));
 
-  std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
+  std::priority_queue<Node, std::vector<Node>, NodeCompare> open(
+      NodeCompare{options_.node_order == NodeOrder::kDepthFirst});
   std::uint64_t seq = 0;
   open.push(Node{-kInf, 0, {}, seq++});
 
@@ -170,6 +260,13 @@ MilpSolution BranchAndBound::solve(
   bool truncated = false;
   bool root_unbounded = false;
   bool root_lp_pending = true;  // the first LP solved is always the root
+  // Post-root tableau for node re-anchoring: when a node leaves the shared
+  // context without a dual-feasible basis (a cost-shifted infeasibility
+  // verdict, a cycling-guard trip), the next node restores this snapshot
+  // and warm-starts from the root basis — one O(m*n) copy instead of a
+  // full two-phase cold solve, which used to be the dominant pivot cost of
+  // the search on the overload LPs.
+  SimplexContext::Snapshot root_anchor;
 
   while (!open.empty()) {
     if (out.nodes_explored >= options_.max_nodes || Clock::now() >= deadline) {
@@ -205,19 +302,72 @@ MilpSolution BranchAndBound::solve(
       continue;
     }
 
-    LpSolution rel = ctx->solve_with_bounds(node_lo, node_hi);
+    LpSolution rel;
+    if (root_lp_pending && near_basis.valid()) {
+      // Near-identical tier: crash the previous run's root basis into the
+      // fresh tableau instead of cold-solving — typically a handful of
+      // dual-repair pivots instead of a full phase-1 + phase-2 run.
+      rel = ctx->solve_from_basis(near_basis);
+      out.root_near_warm = rel.warm_started;
+    } else {
+      if (!root_lp_pending && !ctx->has_warm_basis() && root_anchor.valid()) {
+        ctx->restore(root_anchor);
+      }
+      // Node LPs only need to prove their bound relative to the incumbent:
+      // the dual re-solve may stop early (kCutoff) once its objective
+      // crosses the pruning threshold. The root always solves to optimality
+      // — its basis anchors the search and the session.
+      const double cutoff =
+          root_lp_pending || incumbent_obj >= kInf
+              ? kInf
+              : incumbent_obj - options_.gap_tol;
+      rel = ctx->solve_with_bounds(node_lo, node_hi, cutoff);
+    }
     if (root_lp_pending) {
-      // Retain the post-root tableau and its objective: the next run's
-      // warm-start verification re-solves from exactly this state.
+      // Retain the post-root tableau and its objective: node re-anchoring
+      // resumes from this state, the next run's warm-start verification
+      // re-solves from it, and the combinatorial basis feeds the
+      // near-identical tier.
       root_lp_pending = false;
-      if (session != nullptr && rel.status == LpStatus::kOptimal) {
-        session->root_state = ctx->snapshot();
-        session->root_objective = rel.objective;
+      if (rel.status == LpStatus::kOptimal) {
+        root_anchor = ctx->snapshot();
+        if (session != nullptr) {
+          session->root_state = root_anchor;
+          session->root_objective = rel.objective;
+          session->root_basis = ctx->basis_snapshot();
+        }
+        // Reduced-cost fixing: with an incumbent in hand, a nonbasic
+        // integer variable whose root reduced cost alone pushes past the
+        // incumbent (minus the pruning slack) can never take a different
+        // value in a solution the search would keep — any such node is
+        // bound-dominated. Fixing it in the search box up front removes
+        // the variable from branching and shortens every node's dual
+        // repair. Purely a pruning device: the same solutions survive that
+        // bound-pruning would keep, deterministically.
+        if (incumbent_obj < kInf) {
+          const double root_min = sense_sign * rel.objective;
+          for (int j = 0; j < nv; ++j) {
+            if (red.var_type(j) == VarType::kContinuous) continue;
+            const double dj = ctx->reduced_cost(j);
+            if (ctx->nonbasic_at_lower(j)) {
+              if (root_min + dj >= incumbent_obj - options_.gap_tol &&
+                  std::isfinite(base_lo[j])) {
+                base_hi[j] = base_lo[j];
+              }
+            } else if (ctx->nonbasic_at_upper(j)) {
+              if (root_min - dj >= incumbent_obj - options_.gap_tol &&
+                  std::isfinite(base_hi[j])) {
+                base_lo[j] = base_hi[j];
+              }
+            }
+          }
+        }
       }
     }
     ++out.nodes_explored;
     out.lp_iterations += rel.iterations;
     out.lp_phase1_iterations += rel.phase1_iterations;
+    out.devex_resets += rel.devex_resets;
     if (rel.warm_started) {
       ++out.warm_start_hits;
     } else {
@@ -225,6 +375,7 @@ MilpSolution BranchAndBound::solve(
     }
 
     if (rel.status == LpStatus::kInfeasible) continue;
+    if (rel.status == LpStatus::kCutoff) continue;  // bound-dominated node
     if (rel.status == LpStatus::kUnbounded) {
       // An unbounded relaxation at the root means the MILP itself is
       // unbounded or needs bounds we don't have; report and stop.
@@ -240,11 +391,11 @@ MilpSolution BranchAndBound::solve(
     const double node_obj = sense_sign * rel.objective;
     if (node_obj >= incumbent_obj - options_.gap_tol) continue;
 
-    // Find the most fractional integer variable.
+    // Find the most fractional integer variable (reduced space).
     int branch_var = -1;
     double branch_frac_dist = -1.0;
     for (int j = 0; j < nv; ++j) {
-      if (base.var_type(j) == VarType::kContinuous) continue;
+      if (red.var_type(j) == VarType::kContinuous) continue;
       const double v = rel.values[j];
       const double frac = v - std::floor(v);
       const double dist = std::min(frac, 1.0 - frac);
@@ -255,9 +406,13 @@ MilpSolution BranchAndBound::solve(
     }
 
     if (branch_var < 0) {
-      // Integer feasible: new incumbent.
-      std::vector<double> x = rel.values;
-      snap_integral(base, x, options_.int_tol * 4 + 1e-9);
+      // Integer feasible: new incumbent. Snap in the reduced space (integer
+      // columns are never scaled, so snapped values survive postsolve
+      // exactly), then validate against the original model.
+      std::vector<double> xr = rel.values;
+      snap_integral(red, xr, options_.int_tol * 4 + 1e-9);
+      std::vector<double> x =
+          use_pre ? pre->post.restore_point(xr) : std::move(xr);
       if (base.is_feasible(x, 1e-5)) {
         const double obj = sense_sign * base.objective_value(x);
         if (obj < incumbent_obj - options_.gap_tol) {
@@ -278,10 +433,17 @@ MilpSolution BranchAndBound::solve(
     open.push(std::move(up));
   }
 
-  // Gap: distance between incumbent and the best still-open bound.
+  // Gap: distance between incumbent and the best still-open bound. Under
+  // depth-first order the queue top is the NEWEST node, not the best bound,
+  // so scan the whole remaining frontier (the search is over; draining the
+  // queue is fine).
   best_open_bound = incumbent_obj;
   if (truncated && !open.empty()) {
     best_open_bound = open.top().bound;
+    while (!open.empty()) {
+      best_open_bound = std::min(best_open_bound, open.top().bound);
+      open.pop();
+    }
   }
 
   if (incumbent.empty()) {

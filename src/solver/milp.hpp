@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "solver/lp.hpp"
+#include "solver/presolve.hpp"
 #include "solver/simplex.hpp"
 
 namespace loki::solver {
@@ -34,11 +35,30 @@ enum class MilpStatus {
 
 std::string to_string(MilpStatus s);
 
+/// Branch-and-bound exploration order.
+///  * kBestFirst: smallest parent bound first (FIFO on ties) — strongest
+///    bound for gap reporting, the classic choice for proving optimality;
+///  * kDepthFirst: most recent node first (dive) — consecutive node LPs are
+///    parent/child, so the shared simplex context warm-starts with minimal
+///    bound churn, and incumbents appear early, which lets the dual-cutoff
+///    early-out close most of the remaining tree mid-repair.
+/// Both orders are deterministic and explore the same complete tree when
+/// run without budgets.
+enum class NodeOrder { kBestFirst, kDepthFirst };
+
 struct MilpOptions {
   double int_tol = 1e-6;        // |x - round(x)| below this counts as integral
   double gap_tol = 1e-9;        // absolute bound-vs-incumbent pruning slack
   int max_nodes = 200000;       // branch-and-bound node budget
   double time_limit_s = 10.0;   // wall-clock budget
+  NodeOrder node_order = NodeOrder::kBestFirst;
+  /// Presolve + scale the model before the shared simplex instance is
+  /// built; the search runs in the reduced space and solutions are
+  /// postsolved back. Besides shrinking the tableau, the implied finite
+  /// boxes presolve derives are what let node LPs start dual-feasible and
+  /// skip the artificial phase 1.
+  bool presolve = true;
+  PresolveOptions presolve_options;
   SimplexOptions lp;            // options for node relaxations
 };
 
@@ -54,11 +74,35 @@ struct MilpSolution {
                                  // (cold phase 1 or warm dual repair)
   int warm_start_hits = 0;       // node LPs resolved from the reused basis
   int cold_solves = 0;           // node LPs that ran a full two-phase solve
+  int devex_resets = 0;          // devex reference-frame resets, all nodes
+  int presolve_rows_removed = 0;
+  int presolve_cols_removed = 0;
   /// Root LP warm-started from a prior run's retained basis (cross-run /
   /// cross-epoch warm start via ResolveSession).
   bool root_warm_started = false;
+  /// Root LP crash-started from a near-identical prior model's basis (the
+  /// near-identical warm tier; the tree search still ran in full).
+  bool root_near_warm = false;
   /// |best bound - incumbent|; 0 when proven optimal.
   double gap = 0.0;
+};
+
+/// How much cross-run state a session-aware solve may reuse. The *caller*
+/// owns the model-comparison judgement (structurally_equal /
+/// near_identical); on any doubt pass kCold.
+enum class WarmTier {
+  /// No reuse: rebuild the session from scratch.
+  kCold,
+  /// Caller vouches the model is bit-identical to the session's: verify the
+  /// retained root basis and return the retained solution (bit-identical
+  /// guarantee, no tree search).
+  kIdentical,
+  /// Caller vouches the model is near-identical (same shape/sparsity/
+  /// bounds/integrality, drifted coefficients): crash-start the root LP
+  /// from the retained basis and seed the incumbent from the retained
+  /// solution, then run the full search. Results may drift within the
+  /// optimality gap — never silently bit-identical.
+  kNearIdentical,
 };
 
 /// Cross-run persistence surface for branch-and-bound. A session keeps the
@@ -80,16 +124,28 @@ struct MilpSolution {
 /// MilpAllocator's EpochContext holds one session per (budget split,
 /// allocation step).
 struct ResolveSession {
+  /// Built on the presolved (reduced) model when presolve is enabled.
   std::unique_ptr<SimplexContext> ctx;
+  /// Reduction + postsolve record of the last cold build. When presolve is
+  /// off, `pre.problem` is empty and has_pre is false.
+  PresolveResult pre;
+  bool has_pre = false;
   SimplexContext::Snapshot root_state;  // tableau right after the root solve
   double root_objective = 0.0;          // root LP objective at snapshot time
+                                        // (reduced space when presolved)
+  /// Combinatorial root basis for the near-identical tier's crash start.
+  SimplexContext::BasisSnapshot root_basis;
   bool has_solution = false;
   MilpSolution solution;  // complete result of the last full search
+                          // (values in the original variable space)
 
   void reset() {
     ctx.reset();
+    pre = PresolveResult();
+    has_pre = false;
     root_state = SimplexContext::Snapshot();
     root_objective = 0.0;
+    root_basis = SimplexContext::BasisSnapshot();
     has_solution = false;
     solution = MilpSolution();
   }
@@ -106,17 +162,18 @@ class BranchAndBound {
                      const std::optional<std::vector<double>>& warm_start =
                          std::nullopt) const;
 
-  /// Session-aware variant: persists the simplex context, post-root
-  /// snapshot, and solution in `session` across calls. When
-  /// `model_unchanged` is true the caller asserts `problem` is structurally
-  /// identical to the one that produced the session state; the root LP then
-  /// warm-starts from the retained basis via dual simplex and, once
-  /// verified, the retained solution is returned without re-running the
-  /// search. Any mismatch or failed verification falls back to a cold
-  /// rebuild of the session and a full search.
+  /// Session-aware variant: persists the simplex context, presolve record,
+  /// post-root snapshot/basis, and solution in `session` across calls.
+  /// `tier` is the caller's judgement of how the model relates to the one
+  /// that produced the session state (see WarmTier): kIdentical verifies
+  /// the retained root and returns the retained solution without
+  /// re-running the search; kNearIdentical crash-starts the root LP from
+  /// the retained basis and seeds the incumbent from the retained solution
+  /// but runs the full search. Any mismatch or failed verification falls
+  /// back to a cold rebuild of the session and a full search.
   MilpSolution solve(const LpProblem& problem,
                      const std::optional<std::vector<double>>& warm_start,
-                     ResolveSession* session, bool model_unchanged) const;
+                     ResolveSession* session, WarmTier tier) const;
 
  private:
   MilpOptions options_;

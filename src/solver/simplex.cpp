@@ -13,6 +13,7 @@ std::string to_string(LpStatus s) {
     case LpStatus::kInfeasible: return "infeasible";
     case LpStatus::kUnbounded: return "unbounded";
     case LpStatus::kIterLimit: return "iteration-limit";
+    case LpStatus::kCutoff: return "cutoff";
   }
   return "?";
 }
@@ -68,6 +69,7 @@ SimplexContext::SimplexContext(const LpProblem& p, SimplexOptions options)
   hi_.assign(static_cast<std::size_t>(n_), 0.0);
   val_.assign(static_cast<std::size_t>(n_), 0.0);
   state_.assign(static_cast<std::size_t>(n_), VarState::kAtLower);
+  devex_w_.assign(static_cast<std::size_t>(n_), 1.0);
 }
 
 SimplexContext::Snapshot SimplexContext::snapshot() const {
@@ -206,28 +208,40 @@ LpStatus SimplexContext::primal_loop(LpSolution& out, bool phase1) {
   int degenerate_run = 0;
   bool bland = false;
   bool verified = false;
+  const bool devex = opt_.pricing == PricingRule::kDevex;
+  if (devex) {
+    // Fresh reference frame per primal pass: every nonbasic column starts
+    // at weight 1 (not counted as a reset — resets are mid-solve events).
+    std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  }
   for (;;) {
     if (out.iterations >= opt_.max_iterations) return LpStatus::kIterLimit;
 
     // Pricing: one O(n) pass over the incrementally maintained reduced
     // costs. A nonbasic-at-lower column improves if d < -tol (it wants to
-    // rise), an at-upper column if d > tol (it wants to fall).
+    // rise), an at-upper column if d > tol (it wants to fall). Under devex
+    // the merit of an improving column is d^2 / w instead of |d|; the
+    // anti-cycling Bland fallback ignores weights entirely and takes the
+    // lowest improving index.
     int q = -1;
     int dir = 0;
-    double best = opt_.tol;
+    double best = 0.0;  // Dantzig: |d|; devex: d^2 / w
     for (int j = 0; j < n_; ++j) {
       if (state_[j] == VarState::kBasic || fixed(j)) continue;
       const double dj = d_[j];
+      int cand_dir = 0;
       if (state_[j] == VarState::kAtLower) {
-        if (dj < -opt_.tol) {
-          if (bland) { q = j; dir = +1; break; }
-          if (-dj > best) { best = -dj; q = j; dir = +1; }
-        }
+        if (dj < -opt_.tol) cand_dir = +1;
       } else {
-        if (dj > opt_.tol) {
-          if (bland) { q = j; dir = -1; break; }
-          if (dj > best) { best = dj; q = j; dir = -1; }
-        }
+        if (dj > opt_.tol) cand_dir = -1;
+      }
+      if (cand_dir == 0) continue;
+      if (bland) { q = j; dir = cand_dir; break; }
+      const double merit = devex ? dj * dj / devex_w_[j] : std::abs(dj);
+      if (merit > best) {
+        best = merit;
+        q = j;
+        dir = cand_dir;
       }
     }
     if (q < 0) {
@@ -306,8 +320,30 @@ LpStatus SimplexContext::primal_loop(LpSolution& out, bool phase1) {
     const double leave_value = alpha_r > 0 ? lo_[b] : hi_[b];
     const VarState leave_state =
         alpha_r > 0 ? VarState::kAtLower : VarState::kAtUpper;
+    const double wq = devex ? devex_w_[q] : 0.0;
     pivot(leave_row, q, dir > 0 ? t_row : -t_row, leave_value, leave_state);
     ++out.iterations;
+    if (devex) {
+      // Reference-framework update: the post-pivot row r holds a_rj / a_rq,
+      // so w_j = max(w_j, (a_rj/a_rq)^2 * w_q) is one multiply per nonbasic
+      // column; the leaving variable re-enters the frame at weight >= 1.
+      devex_w_[b] = 1.0;
+      const double* rowr = &a_[static_cast<std::size_t>(leave_row) * n_];
+      double wmax = 1.0;
+      for (int j = 0; j < n_; ++j) {
+        if (state_[j] == VarState::kBasic) continue;
+        const double rj = rowr[j];
+        if (rj != 0.0) {
+          const double cand = rj * rj * wq;
+          if (cand > devex_w_[j]) devex_w_[j] = cand;
+        }
+        if (devex_w_[j] > wmax) wmax = devex_w_[j];
+      }
+      if (wmax > opt_.devex_weight_cap) {
+        std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+        ++out.devex_resets;
+      }
+    }
     if (degenerate) {
       if (++degenerate_run >= opt_.degenerate_switch) bland = true;
     } else {
@@ -322,15 +358,44 @@ LpStatus SimplexContext::primal_loop(LpSolution& out, bool phase1) {
   }
 }
 
-SimplexContext::DualResult SimplexContext::dual_repair(LpSolution& out) {
+SimplexContext::DualResult SimplexContext::dual_repair(LpSolution& out,
+                                                       double internal_cutoff) {
   // Bounded dual simplex: the retained basis is dual-feasible (reduced-cost
   // signs match the nonbasic states); repeatedly kick the most-infeasible
   // basic variable out at the bound it violates, choosing the entering
   // column by the min |d|/|a| ratio so dual feasibility is preserved.
+  //
+  // With a finite cutoff the current objective is tracked across pivots
+  // (each dual step worsens it by d_q * dx >= 0); since a dual-feasible
+  // basis's objective is a lower bound on the optimum, crossing the cutoff
+  // proves the solve can only end at or above it and the repair stops
+  // early — the branch-and-bound caller prunes such a node anyway, so the
+  // remaining pivots (and the finishing primal pass) would be pure waste.
+  const bool track_obj = std::isfinite(internal_cutoff);
+  const auto exact_obj = [&] {
+    double v = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      if (state_[j] != VarState::kBasic && val_[j] != 0.0) {
+        v += cost_[j] * val_[j];
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (row_active_[i]) v += cost_[basis_[i]] * xb_[i];
+    }
+    return v;
+  };
+  double obj = track_obj ? exact_obj() : 0.0;
   const int cycle_cap = std::max(64, 4 * m_);
   int steps = 0;
   for (;;) {
     if (out.iterations >= opt_.max_iterations) return DualResult::kIterLimit;
+    if (track_obj && obj >= internal_cutoff) {
+      // Confirm against an exactly recomputed objective before declaring
+      // the cutoff, so the verdict never rests on incremental drift.
+      recompute_basic_values();
+      obj = exact_obj();
+      if (obj >= internal_cutoff) return DualResult::kCutoff;
+    }
     int r = -1;
     bool below = false;
     double worst = opt_.feas_tol;
@@ -377,6 +442,7 @@ SimplexContext::DualResult SimplexContext::dual_repair(LpSolution& out) {
     if (q < 0) return DualResult::kInfeasible;
 
     const double dx = (xb_[r] - target) / rowr[q];
+    if (track_obj) obj += d_[q] * dx;
     pivot(r, q, dx, target,
           below ? VarState::kAtLower : VarState::kAtUpper);
     ++out.iterations;
@@ -385,6 +451,7 @@ SimplexContext::DualResult SimplexContext::dual_repair(LpSolution& out) {
       recompute_reduced_costs();
       recompute_basic_values();
       since_refresh_ = 0;
+      if (track_obj) obj = exact_obj();
     }
   }
 }
@@ -412,24 +479,11 @@ void SimplexContext::drive_out_artificials() {
   }
 }
 
-void SimplexContext::reset_cold(const std::vector<double>& lo,
-                                const std::vector<double>& hi,
-                                bool* needs_phase1) {
-  *needs_phase1 = false;
+void SimplexContext::build_raw_tableau(const std::vector<double>& lo,
+                                       const std::vector<double>& hi) {
   std::fill(a_.begin(), a_.end(), 0.0);
   std::fill(row_active_.begin(), row_active_.end(), 1);
   set_column_bounds_from(lo, hi);
-  for (int j = 0; j < nv_; ++j) {
-    if (std::isfinite(lo_[j])) {
-      state_[j] = VarState::kAtLower;
-      val_[j] = lo_[j];
-    } else {
-      LOKI_CHECK_MSG(std::isfinite(hi_[j]),
-                     "variable " << j << " needs at least one finite bound");
-      state_[j] = VarState::kAtUpper;
-      val_[j] = hi_[j];
-    }
-  }
   for (int i = 0; i < m_; ++i) {
     for (const auto& [var, coeff] : row_terms_[i]) at(i, var) += coeff;
     const int slack = nv_ + i;
@@ -442,7 +496,29 @@ void SimplexContext::reset_cold(const std::vector<double>& lo,
     hi_[art] = 0.0;
     val_[art] = 0.0;
     state_[art] = VarState::kAtLower;
+  }
+  since_refresh_ = 0;
+}
 
+void SimplexContext::reset_cold(const std::vector<double>& lo,
+                                const std::vector<double>& hi,
+                                bool* needs_phase1) {
+  *needs_phase1 = false;
+  build_raw_tableau(lo, hi);
+  for (int j = 0; j < nv_; ++j) {
+    if (std::isfinite(lo_[j])) {
+      state_[j] = VarState::kAtLower;
+      val_[j] = lo_[j];
+    } else {
+      LOKI_CHECK_MSG(std::isfinite(hi_[j]),
+                     "variable " << j << " needs at least one finite bound");
+      state_[j] = VarState::kAtUpper;
+      val_[j] = hi_[j];
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int slack = nv_ + i;
+    const int art = nv_ + m_ + i;
     double r = rhs_[i];
     for (const auto& [var, coeff] : row_terms_[i]) r -= coeff * val_[var];
     if (r >= lo_[slack] && r <= hi_[slack]) {
@@ -476,6 +552,227 @@ void SimplexContext::reset_cold(const std::vector<double>& lo,
     }
   }
   since_refresh_ = 0;
+}
+
+bool SimplexContext::can_dual_start(const std::vector<double>& lo,
+                                    const std::vector<double>& hi) const {
+  for (int j = 0; j < nv_; ++j) {
+    const double c = sign_ * obj_[j];
+    const double l = lo[static_cast<std::size_t>(j)];
+    const double h = hi[static_cast<std::size_t>(j)];
+    if (l == h) continue;  // fixed: never priced, any placement works
+    if (c > opt_.tol) {
+      if (!std::isfinite(l)) return false;
+    } else if (c < -opt_.tol) {
+      if (!std::isfinite(h)) return false;
+    } else if (!std::isfinite(l) && !std::isfinite(h)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SimplexContext::reset_cold_dual(const std::vector<double>& lo,
+                                     const std::vector<double>& hi) {
+  build_raw_tableau(lo, hi);
+  // Nonbasic structurals parked on the bound their cost sign prefers: the
+  // all-slack basis prices d_j = c_j, so this start is dual feasible by
+  // construction and the bounded dual simplex restores primal feasibility
+  // directly — no artificial columns, no phase 1.
+  for (int j = 0; j < nv_; ++j) {
+    const double c = sign_ * obj_[j];
+    bool at_lower;
+    if (c > opt_.tol) {
+      at_lower = true;
+    } else if (c < -opt_.tol) {
+      at_lower = false;
+    } else {
+      at_lower = std::isfinite(lo_[j]);
+    }
+    state_[j] = at_lower ? VarState::kAtLower : VarState::kAtUpper;
+    val_[j] = at_lower ? lo_[j] : hi_[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int slack = nv_ + i;
+    basis_[i] = slack;
+    state_[slack] = VarState::kBasic;
+    val_[slack] = 0.0;
+  }
+  recompute_basic_values();
+}
+
+SimplexContext::BasisSnapshot SimplexContext::basis_snapshot() const {
+  BasisSnapshot s;
+  for (int i = 0; i < m_; ++i) {
+    // A disabled (redundant) row or a basic artificial cannot be replayed
+    // onto a freshly built tableau of a different problem.
+    if (!row_active_[i] || basis_[i] >= nv_ + m_) return s;
+  }
+  s.basis = basis_;
+  s.state = state_;
+  s.n = n_;
+  s.m = m_;
+  return s;
+}
+
+bool SimplexContext::crash_basis(const BasisSnapshot& bs) {
+  if (!bs.valid() || bs.n != n_ || bs.m != m_) return false;
+  build_raw_tableau(base_lo_, base_hi_);
+  for (int j = 0; j < nv_ + m_; ++j) {
+    if (bs.state[j] == VarState::kBasic) continue;
+    // Recorded nonbasic placement, flipped when the current bounds cannot
+    // host the recorded side (mirrors apply_bounds_warm).
+    VarState st = bs.state[j];
+    if (st == VarState::kAtUpper && !std::isfinite(hi_[j])) {
+      st = VarState::kAtLower;
+    } else if (st == VarState::kAtLower && !std::isfinite(lo_[j])) {
+      st = VarState::kAtUpper;
+    }
+    const double v = st == VarState::kAtLower ? lo_[j] : hi_[j];
+    if (!std::isfinite(v)) return false;  // free column: nowhere to park it
+    state_[j] = st;
+    val_[j] = v;
+  }
+  // Gauss-Jordan the recorded basis in. The recorded row<->column pairing
+  // need not survive a coefficient drift (and a straight in-order
+  // elimination can hit a zero pivot even for a nonsingular basis), so the
+  // basis is treated as a column *set*: each column picks the unassigned
+  // row with the largest pivot magnitude (first row wins ties —
+  // deterministic). This is a refactorization (at most m dense
+  // eliminations), not simplex work, so it is not counted as iterations. A
+  // column with no usable pivot means the recorded basis is singular for
+  // the current matrix: give up and let the caller cold-solve.
+  std::vector<char> assigned(static_cast<std::size_t>(m_), 0);
+  for (int bi = 0; bi < m_; ++bi) {
+    const int q = bs.basis[bi];
+    if (q >= nv_ + m_) return false;  // artificial basic: not replayable
+    int r = -1;
+    double best = 1e-7;
+    for (int i = 0; i < m_; ++i) {
+      if (assigned[i]) continue;
+      const double mag = std::abs(at(i, q));
+      if (mag > best) {
+        best = mag;
+        r = i;
+      }
+    }
+    if (r < 0) return false;
+    assigned[r] = 1;
+    double* rowr = &a_[static_cast<std::size_t>(r) * n_];
+    const double inv = 1.0 / rowr[q];
+    for (int j = 0; j < n_; ++j) rowr[j] *= inv;
+    rowr[q] = 1.0;  // exact
+    bvec_[r] *= inv;
+    for (int i2 = 0; i2 < m_; ++i2) {
+      if (i2 == r) continue;
+      const double f = at(i2, q);
+      if (f == 0.0) continue;
+      double* row2 = &a_[static_cast<std::size_t>(i2) * n_];
+      for (int j = 0; j < n_; ++j) {
+        if (rowr[j] != 0.0) row2[j] -= f * rowr[j];
+      }
+      row2[q] = 0.0;  // exact
+      bvec_[i2] -= f * bvec_[r];
+    }
+    basis_[r] = q;
+    state_[q] = VarState::kBasic;
+    val_[q] = 0.0;
+  }
+  recompute_basic_values();
+  return true;
+}
+
+void SimplexContext::set_phase2_costs() {
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  for (int j = 0; j < nv_; ++j) cost_[j] = sign_ * obj_[j];
+}
+
+bool SimplexContext::repair_and_finish(LpSolution& out,
+                                       double internal_cutoff) {
+  // A state flip (or a crashed basis) can leave a nonbasic reduced cost
+  // with the wrong sign. Shift those costs to zero so the dual ratio test
+  // stays valid; the true costs come back (with an exact reduced-cost
+  // rebuild) before the finishing primal pass, which starts
+  // primal-feasible and therefore needs no dual feasibility.
+  std::vector<std::pair<int, double>> shifts;
+  for (int j = 0; j < n_; ++j) {
+    if (state_[j] == VarState::kBasic || fixed(j)) continue;
+    const double dj = d_[j];
+    const bool broken = state_[j] == VarState::kAtLower ? dj < -opt_.tol
+                                                        : dj > opt_.tol;
+    if (broken) {
+      shifts.emplace_back(j, dj);
+      cost_[j] -= dj;
+      d_[j] = 0.0;
+    }
+  }
+  const auto restore_shifts = [&] {
+    if (shifts.empty()) return;
+    for (const auto& [j, s] : shifts) cost_[j] += s;
+    recompute_reduced_costs();
+  };
+  switch (dual_repair(out, shifts.empty() ? internal_cutoff : kInf)) {
+    case DualResult::kInfeasible:
+      // Primal infeasibility is independent of the (possibly shifted)
+      // cost, so the verdict stands. Without shifts the basis stayed
+      // dual-feasible and branch-and-bound siblings can keep reusing it.
+      restore_shifts();
+      basis_dual_feasible_ = shifts.empty();
+      out.status = LpStatus::kInfeasible;
+      return true;
+    case DualResult::kIterLimit:
+      basis_dual_feasible_ = false;
+      out.status = LpStatus::kIterLimit;
+      return true;
+    case DualResult::kFeasible: {
+      restore_shifts();
+      const LpStatus s = primal_loop(out, /*phase1=*/false);
+      out.status = s;
+      if (s == LpStatus::kOptimal) {
+        extract(out);
+        basis_dual_feasible_ = true;
+      } else {
+        basis_dual_feasible_ = false;
+      }
+      return true;
+    }
+    case DualResult::kCutoff:
+      // The basis is dual feasible (no shifts were active) but mid-repair:
+      // siblings can keep warm-starting from it.
+      basis_dual_feasible_ = true;
+      out.status = LpStatus::kCutoff;
+      return true;
+    case DualResult::kGiveUp:
+      return false;  // cycling guard tripped; caller cold-solves
+  }
+  return false;
+}
+
+LpSolution SimplexContext::solve_from_basis(const BasisSnapshot& bs) {
+  LpSolution out;
+  out.values.assign(static_cast<std::size_t>(nv_), 0.0);
+  for (int j = 0; j < nv_; ++j) {
+    if (base_lo_[j] > base_hi_[j]) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+  }
+  basis_dual_feasible_ = false;
+  if (crash_basis(bs)) {
+    set_phase2_costs();
+    recompute_reduced_costs();
+    out.warm_started = true;
+    if (repair_and_finish(out, kInf)) return out;
+    out.warm_started = false;
+  }
+  // Crash failed or cycled: cold solve, keeping the work already spent on
+  // the books.
+  LpSolution cold = solve();
+  cold.iterations += out.iterations;
+  cold.phase1_iterations += out.phase1_iterations;
+  cold.bound_flips += out.bound_flips;
+  cold.devex_resets += out.devex_resets;
+  return cold;
 }
 
 bool SimplexContext::apply_bounds_warm(const std::vector<double>& lo,
@@ -537,7 +834,8 @@ LpSolution SimplexContext::solve() {
 }
 
 LpSolution SimplexContext::solve_with_bounds(const std::vector<double>& lo,
-                                             const std::vector<double>& hi) {
+                                             const std::vector<double>& hi,
+                                             double dual_cutoff) {
   LOKI_CHECK(static_cast<int>(lo.size()) == nv_ &&
              static_cast<int>(hi.size()) == nv_);
   LpSolution out;
@@ -549,61 +847,35 @@ LpSolution SimplexContext::solve_with_bounds(const std::vector<double>& lo,
     }
   }
 
+  // The public cutoff is in minimization-form objective units (offset
+  // included); internal costs carry neither the offset nor the sense sign
+  // flip, so translate once here.
+  const double internal_cutoff = std::isfinite(dual_cutoff)
+                                     ? dual_cutoff - sign_ * obj_offset_
+                                     : kInf;
+
   if (basis_dual_feasible_ && apply_bounds_warm(lo, hi)) {
     out.warm_started = true;
-    // Bound relaxations can flip a nonbasic variable to its other bound and
-    // leave its reduced cost with the wrong sign. Shift those costs to zero
-    // so the dual ratio test stays valid; the true costs come back (with an
-    // exact reduced-cost rebuild) before the finishing primal pass, which
-    // starts primal-feasible and therefore needs no dual feasibility.
-    std::vector<std::pair<int, double>> shifts;
-    for (int j = 0; j < n_; ++j) {
-      if (state_[j] == VarState::kBasic || fixed(j)) continue;
-      const double dj = d_[j];
-      const bool broken = state_[j] == VarState::kAtLower ? dj < -opt_.tol
-                                                          : dj > opt_.tol;
-      if (broken) {
-        shifts.emplace_back(j, dj);
-        cost_[j] -= dj;
-        d_[j] = 0.0;
-      }
-    }
-    const auto restore_shifts = [&] {
-      if (shifts.empty()) return;
-      for (const auto& [j, s] : shifts) cost_[j] += s;
-      recompute_reduced_costs();
-    };
-    switch (dual_repair(out)) {
-      case DualResult::kInfeasible:
-        // Primal infeasibility is independent of the (possibly shifted)
-        // cost, so the verdict stands. Without shifts the basis stayed
-        // dual-feasible and branch-and-bound siblings can keep reusing it.
-        restore_shifts();
-        basis_dual_feasible_ = shifts.empty();
-        out.status = LpStatus::kInfeasible;
-        return out;
-      case DualResult::kIterLimit:
-        basis_dual_feasible_ = false;
-        out.status = LpStatus::kIterLimit;
-        return out;
-      case DualResult::kFeasible: {
-        restore_shifts();
-        const LpStatus s = primal_loop(out, /*phase1=*/false);
-        out.status = s;
-        if (s == LpStatus::kOptimal) {
-          extract(out);
-        } else {
-          basis_dual_feasible_ = false;
-        }
-        return out;
-      }
-      case DualResult::kGiveUp:
-        out.warm_started = false;
-        break;  // fall through to a cold solve on the same bounds
-    }
+    if (repair_and_finish(out, internal_cutoff)) return out;
+    out.warm_started = false;  // cycling guard: cold solve on the same bounds
   }
 
   basis_dual_feasible_ = false;
+
+  // Dual cold start: when every structural variable can be parked on a
+  // bound its cost sign prefers, the all-slack basis is dual feasible and
+  // the bounded dual simplex restores primal feasibility directly — the
+  // artificial-column phase 1 (which dominates cold-solve pivot counts on
+  // the degenerate allocation LPs) is skipped entirely. Presolve's implied
+  // finite boxes are what make this applicable to the allocation models.
+  if (opt_.dual_cold_start && can_dual_start(lo, hi)) {
+    reset_cold_dual(lo, hi);
+    set_phase2_costs();
+    recompute_reduced_costs();
+    if (repair_and_finish(out, internal_cutoff)) return out;
+    basis_dual_feasible_ = false;  // cycling guard: artificial phase 1 below
+  }
+
   bool needs_phase1 = false;
   reset_cold(lo, hi, &needs_phase1);
 
@@ -639,8 +911,7 @@ LpSolution SimplexContext::solve_with_bounds(const std::vector<double>& lo,
     }
   }
 
-  std::fill(cost_.begin(), cost_.end(), 0.0);
-  for (int j = 0; j < nv_; ++j) cost_[j] = sign_ * obj_[j];
+  set_phase2_costs();
   recompute_reduced_costs();
   const LpStatus s = primal_loop(out, /*phase1=*/false);
   out.status = s;

@@ -221,6 +221,82 @@ TEST(EpochWarmStart, FiftyEpochTraceBitIdenticalToColdAndCheaper) {
       << " cold=" << cold_stats.lp_iterations;
 }
 
+// ---------------------------------------------------------------------------
+// Selective EpochContext invalidation (update_profile)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-step solver stats of a PlanResult, by step name ("" when absent).
+const serving::SolverStats* step_stats(const serving::PlanResult& r,
+                                       const std::string& name) {
+  for (const auto& s : r.steps) {
+    if (s.step == name) return &s.solver;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(SelectiveInvalidation, ProfileUpdateInvalidatesOnlyAffectedSteps) {
+  Fixture f;
+  serving::MilpAllocator alloc(f.cfg, &f.graph, f.profiles);
+  // Accuracy regime: the hardware step is infeasible (memoized as an epoch
+  // cache skip from the second epoch on) and the accuracy step carries the
+  // retained solver sessions.
+  serving::PlanRequest req;
+  req.demand_qps = 1400.0;
+  req.mult = f.mult;
+  alloc.plan(req);
+  const auto primed = alloc.plan(req);
+  const auto* hw0 = step_stats(primed, "hardware");
+  const auto* acc0 = step_stats(primed, "accuracy");
+  ASSERT_NE(hw0, nullptr);
+  ASSERT_NE(acc0, nullptr);
+  ASSERT_GT(hw0->epoch_cache_skips, 0);
+  ASSERT_GT(acc0->epoch_warm_hits, 0);
+
+  // Pick a task with a variant that is NOT the most accurate one.
+  int task = -1, variant = -1;
+  for (int t = 0; t < f.graph.num_tasks() && task < 0; ++t) {
+    const int best = f.graph.task(t).catalog.most_accurate();
+    for (std::size_t v = 0; v < f.profiles[t].size(); ++v) {
+      if (static_cast<int>(v) != best) {
+        task = t;
+        variant = static_cast<int>(v);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(task, 0);
+
+  // A re-profile that confirms the old numbers invalidates nothing: both
+  // steps keep their retained state.
+  alloc.update_profile(task, variant, f.profiles[task][variant]);
+  const auto confirmed = alloc.plan(req);
+  EXPECT_GT(step_stats(confirmed, "hardware")->epoch_cache_skips, 0);
+  EXPECT_GT(step_stats(confirmed, "accuracy")->epoch_warm_hits, 0);
+
+  // A real change to a non-most-accurate variant invalidates the accuracy
+  // step (its model changed) but leaves the hardware step's caches — the
+  // hardware view only contains the most accurate variant.
+  profile::BatchProfile slower = f.profiles[task][variant];
+  for (auto& q : slower.throughput_qps) q *= 0.5;
+  alloc.update_profile(task, variant, slower);
+  const auto updated = alloc.plan(req);
+  EXPECT_GT(step_stats(updated, "hardware")->epoch_cache_skips, 0);
+  EXPECT_EQ(step_stats(updated, "accuracy")->epoch_warm_hits, 0);
+
+  // The plan equals what a from-scratch allocator produces over the updated
+  // profile table: selective invalidation changes retained warm-start
+  // state, never results.
+  serving::ProfileTable fresh_profiles = f.profiles;
+  fresh_profiles[task][variant] = slower;
+  serving::MilpAllocator fresh(f.cfg, &f.graph, fresh_profiles);
+  const auto expected = fresh.plan(req);
+  EXPECT_EQ(comparable_text(updated.plan), comparable_text(expected.plan));
+}
+
 TEST(EpochWarmStart, ResetForcesColdButIdenticalPlans) {
   Fixture f;
   serving::MilpAllocator alloc(f.cfg, &f.graph, f.profiles);
@@ -237,6 +313,64 @@ TEST(EpochWarmStart, ResetForcesColdButIdenticalPlans) {
   // After the reset nothing is retained, so the re-plan ran cold.
   EXPECT_EQ(third.solver.epoch_warm_hits, 0);
   EXPECT_EQ(third.solver.epoch_cache_skips, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Near-identical warm tier (opt-in)
+// ---------------------------------------------------------------------------
+
+TEST(NearWarmTier, DemandRampEngagesAndStaysWithinGap) {
+  Fixture f;
+  serving::AllocatorConfig near_cfg = f.cfg;
+  near_cfg.near_warm_start = true;
+  serving::AllocatorConfig cold_cfg = f.cfg;
+  cold_cfg.warm_start_across_epochs = false;
+
+  serving::MilpAllocator near_alloc(near_cfg, &f.graph, f.profiles);
+  serving::MilpAllocator dflt_alloc(f.cfg, &f.graph, f.profiles);
+  serving::MilpAllocator cold_alloc(cold_cfg, &f.graph, f.profiles);
+
+  serving::SolverStats near_stats;
+  serving::AllocationPlan near_prev, dflt_prev, cold_prev;
+  // Slow linear ramp inside the accuracy-scaling regime: every epoch the
+  // demand (and hence the capacity-row coefficients) drifts, so the
+  // bit-identical gate fails on every epoch, which is exactly the near
+  // tier's territory.
+  for (int e = 0; e < 20; ++e) {
+    const double demand = 1200.0 + 10.0 * e;
+    auto run = [&](serving::MilpAllocator& alloc,
+                   serving::AllocationPlan& prev) {
+      serving::PlanRequest req;
+      req.demand_qps = demand;
+      req.mult = f.mult;
+      req.epoch = e;
+      req.previous_plan = e > 0 ? &prev : nullptr;
+      auto result = alloc.plan(req);
+      prev = std::move(result.plan);
+      return result;
+    };
+    auto near_res = run(near_alloc, near_prev);
+    run(dflt_alloc, dflt_prev);
+    run(cold_alloc, cold_prev);
+    near_stats += near_res.solver;
+
+    // With the tier OFF (the default), a ramp epoch cold-solves: plans stay
+    // bit-identical to the cold reference — the pre-existing guarantee the
+    // opt-in must not disturb.
+    ASSERT_EQ(comparable_text(dflt_prev), comparable_text(cold_prev))
+        << "default-config plans diverged from cold at epoch " << e;
+
+    // The near tier solves the *current* model exactly; only tie-breaking
+    // within the MILP optimality gap may differ from a cold solve.
+    ASSERT_EQ(static_cast<int>(near_prev.mode),
+              static_cast<int>(cold_prev.mode));
+    EXPECT_NEAR(near_prev.expected_accuracy, cold_prev.expected_accuracy,
+                2.0 * f.cfg.milp.gap_tol + 1e-9)
+        << "epoch " << e << " demand " << demand;
+    EXPECT_NEAR(near_prev.served_fraction, cold_prev.served_fraction, 1e-9);
+  }
+  // The tier actually engaged.
+  EXPECT_GT(near_stats.near_warm_hits, 0);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "solver/milp.hpp"
+#include "solver/presolve.hpp"
 #include "solver/simplex.hpp"
 
 namespace loki::solver {
@@ -83,6 +84,71 @@ TEST(SimplexEdge, ZeroObjectiveReturnsFeasiblePoint) {
   const auto s = SimplexSolver().solve(p);
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_TRUE(p.is_feasible(s.values, 1e-7));
+}
+
+// ---------------------------------------------------------------------------
+// Anti-cycling: Bland's-rule fallback after a stall of degenerate pivots.
+// ---------------------------------------------------------------------------
+
+// Beale's classic cycling LP: under naive most-negative-reduced-cost
+// pricing with unlucky tie-breaks the simplex revisits bases forever. The
+// stall guard (degenerate_switch consecutive degenerate pivots -> Bland's
+// rule) must terminate it at the true optimum under every pricing rule,
+// even with the guard wound down to trip almost immediately.
+TEST(SimplexAntiCycling, BealeCycleTerminatesUnderBothPricingRules) {
+  for (PricingRule rule : {PricingRule::kDantzig, PricingRule::kDevex}) {
+    for (int degenerate_switch : {2, 64}) {
+      LpProblem p(Sense::kMinimize);
+      const int x4 = p.add_variable("x4", 0, kInf, -0.75);
+      const int x5 = p.add_variable("x5", 0, kInf, 150.0);
+      const int x6 = p.add_variable("x6", 0, kInf, -0.02);
+      const int x7 = p.add_variable("x7", 0, kInf, 6.0);
+      p.add_constraint({{{x4, 0.25}, {x5, -60.0}, {x6, -0.04}, {x7, 9.0}},
+                        Relation::kLe, 0.0, ""});
+      p.add_constraint({{{x4, 0.5}, {x5, -90.0}, {x6, -0.02}, {x7, 3.0}},
+                        Relation::kLe, 0.0, ""});
+      p.add_constraint({{{x6, 1.0}}, Relation::kLe, 1.0, ""});
+      SimplexOptions opt;
+      opt.pricing = rule;
+      opt.degenerate_switch = degenerate_switch;
+      const auto s = SimplexSolver(opt).solve(p);
+      ASSERT_EQ(s.status, LpStatus::kOptimal)
+          << "rule=" << static_cast<int>(rule)
+          << " switch=" << degenerate_switch;
+      EXPECT_NEAR(s.objective, -0.05, 1e-9);
+      EXPECT_TRUE(p.is_feasible(s.values, 1e-7));
+    }
+  }
+}
+
+// A vertex shared by many redundant rows: every pivot at the optimum is
+// degenerate, which is where a stalled pricing rule would spin.
+TEST(SimplexAntiCycling, MassivelyDegenerateVertexTerminates) {
+  for (PricingRule rule : {PricingRule::kDantzig, PricingRule::kDevex}) {
+    LpProblem p(Sense::kMaximize);
+    const int n = 6;
+    for (int j = 0; j < n; ++j) {
+      p.add_variable("x" + std::to_string(j), 0, kInf, 1.0 + 0.01 * j);
+    }
+    // All rows active at the origin-adjacent optimum vertex: sum x <= 1
+    // duplicated with scalings, plus per-variable caps that are tight at
+    // the same point.
+    for (int r = 0; r < 12; ++r) {
+      Constraint c;
+      const double scale = 1.0 + 0.5 * (r % 3);
+      for (int j = 0; j < n; ++j) c.terms.push_back({j, scale});
+      c.rel = Relation::kLe;
+      c.rhs = scale;
+      p.add_constraint(std::move(c));
+    }
+    SimplexOptions opt;
+    opt.pricing = rule;
+    opt.degenerate_switch = 4;
+    const auto s = SimplexSolver(opt).solve(p);
+    ASSERT_EQ(s.status, LpStatus::kOptimal);
+    // Everything into the highest-coefficient variable.
+    EXPECT_NEAR(s.objective, 1.05, 1e-7);
+  }
 }
 
 // A miniature resource-allocation MILP shaped exactly like the Resource
@@ -677,6 +743,132 @@ TEST_P(SolverDifferentialMilp, MatchesExhaustiveEnumeration) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialMilp,
+                         ::testing::Range(0, 50));
+
+// ---------------------------------------------------------------------------
+// Presolve + pricing differential suites: every random LP of the seeded
+// generator runs (a) through presolve -> reduced solve -> postsolve against
+// a direct solve, and (b) under Dantzig vs devex pricing — statuses must
+// match, optimal objectives must agree, and postsolved points must be
+// feasible for the ORIGINAL model.
+// ---------------------------------------------------------------------------
+
+class SolverDifferentialPresolve : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDifferentialPresolve, PostsolvedSolutionMatchesDirectSolve) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 101);
+  LpProblem p = random_lp(rng);  // same problems as the seedref suite
+  const auto direct = SimplexSolver().solve(p);
+  ASSERT_NE(direct.status, LpStatus::kIterLimit) << p.to_string();
+
+  const auto pr = presolve(p);
+  if (pr.infeasible) {
+    // Presolve may prove infeasibility outright, but never invent it.
+    EXPECT_EQ(direct.status, LpStatus::kInfeasible) << p.to_string();
+    return;
+  }
+  EXPECT_EQ(pr.post.original_variables(), p.num_variables());
+  EXPECT_EQ(pr.post.reduced_variables(), pr.problem.num_variables());
+
+  if (pr.problem.num_variables() == 0) {
+    // Fully solved by presolve: the fixed point must be the optimum.
+    ASSERT_EQ(direct.status, LpStatus::kOptimal) << p.to_string();
+    const auto x = pr.post.restore_point({});
+    EXPECT_TRUE(p.is_feasible(x, 1e-5)) << p.to_string();
+    EXPECT_NEAR(p.objective_value(x), direct.objective,
+                1e-5 * std::max(1.0, std::abs(direct.objective)));
+    return;
+  }
+
+  const auto reduced = SimplexSolver().solve(pr.problem);
+  ASSERT_EQ(reduced.status, direct.status)
+      << "reduced=" << to_string(reduced.status)
+      << " direct=" << to_string(direct.status) << "\n" << p.to_string()
+      << "reduced model:\n" << pr.problem.to_string();
+  if (direct.status != LpStatus::kOptimal) return;
+
+  const auto x = pr.post.restore_point(reduced.values);
+  EXPECT_TRUE(p.is_feasible(x, 1e-5)) << p.to_string();
+  const double tol = 1e-5 * std::max(1.0, std::abs(direct.objective));
+  EXPECT_NEAR(p.objective_value(x), direct.objective, tol) << p.to_string();
+  // The reduced problem's own objective (offset absorbs fixed variables,
+  // power-of-two scaling cancels) must agree too.
+  EXPECT_NEAR(reduced.objective, direct.objective, tol) << p.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialPresolve,
+                         ::testing::Range(0, 110));
+
+class SolverDifferentialPricing : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDifferentialPricing, DantzigAndDevexAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 101);
+  LpProblem p = random_lp(rng);
+  SimplexOptions dantzig;
+  dantzig.pricing = PricingRule::kDantzig;
+  SimplexOptions devex;
+  devex.pricing = PricingRule::kDevex;
+  const auto a = SimplexSolver(dantzig).solve(p);
+  const auto b = SimplexSolver(devex).solve(p);
+  ASSERT_EQ(a.status, b.status)
+      << "dantzig=" << to_string(a.status) << " devex=" << to_string(b.status)
+      << "\n" << p.to_string();
+  if (a.status != LpStatus::kOptimal) return;
+  EXPECT_TRUE(p.is_feasible(a.values, 1e-5)) << p.to_string();
+  EXPECT_TRUE(p.is_feasible(b.values, 1e-5)) << p.to_string();
+  EXPECT_NEAR(a.objective, b.objective,
+              1e-5 * std::max(1.0, std::abs(a.objective)))
+      << p.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialPricing,
+                         ::testing::Range(0, 110));
+
+// Branch-and-bound with presolve on vs off over the random MILPs: equal
+// statuses and objectives, feasible values either way.
+class SolverDifferentialMilpPresolve : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDifferentialMilpPresolve, PresolveOnOffAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 4409 + 23);
+  const int nvars = 2 + static_cast<int>(rng.uniform_index(2));  // 2..3
+  const int ub = 2 + static_cast<int>(rng.uniform_index(4));     // 2..5
+  LpProblem p(rng.bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize);
+  for (int j = 0; j < nvars; ++j) {
+    p.add_variable("x" + std::to_string(j), 0, ub, rng.uniform(-5.0, 5.0),
+                   rng.bernoulli(0.8) ? VarType::kInteger
+                                      : VarType::kContinuous);
+  }
+  const int rows = 1 + static_cast<int>(rng.uniform_index(3));
+  for (int c = 0; c < rows; ++c) {
+    Constraint con;
+    for (int j = 0; j < nvars; ++j) {
+      con.terms.push_back({j, rng.uniform(-3.0, 3.0)});
+    }
+    const double u = rng.uniform();
+    con.rel = u < 0.6 ? Relation::kLe : u < 0.9 ? Relation::kGe
+                                                : Relation::kEq;
+    con.rhs = rng.uniform(-5.0, 12.0);
+    p.add_constraint(std::move(con));
+  }
+
+  MilpOptions with;
+  with.presolve = true;
+  MilpOptions without;
+  without.presolve = false;
+  const auto a = BranchAndBound(with).solve(p);
+  const auto b = BranchAndBound(without).solve(p);
+  ASSERT_EQ(a.status, b.status)
+      << "presolve-on=" << to_string(a.status)
+      << " presolve-off=" << to_string(b.status) << "\n" << p.to_string();
+  if (a.status != MilpStatus::kOptimal) return;
+  EXPECT_TRUE(p.is_feasible(a.values, 1e-5)) << p.to_string();
+  EXPECT_TRUE(p.is_feasible(b.values, 1e-5)) << p.to_string();
+  EXPECT_NEAR(a.objective, b.objective,
+              1e-5 * std::max(1.0, std::abs(a.objective)))
+      << p.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialMilpPresolve,
                          ::testing::Range(0, 50));
 
 }  // namespace
