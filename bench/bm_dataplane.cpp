@@ -1,0 +1,153 @@
+// Data-plane throughput suite (BM_DataPlane*): how much simulated traffic
+// the discrete-event core and the serving runtime can push per wall-clock
+// second on one host. Companion to the solver-side tab_runtime_overhead:
+// scripts/bench_dataplane.sh runs this binary and gates the JSON report
+// against bench/BENCH_dataplane_baseline.json, mirroring the solver pivot
+// gate.
+//
+// Three altitudes:
+//   BM_DataPlaneArrivalIngest  - event core only: a self-rescheduling
+//     arrival pump where every arrival re-arms (and therefore cancels) a
+//     far-future timeout timer. This is the rearmed-timer pattern that made
+//     the tombstone heap pay a compaction tax.
+//   BM_DataPlaneForwardFanout  - the serving hot path: constant heavy
+//     demand through the two-task pipeline (query-state table, routing
+//     draws, worker batching, fan-out forwarding).
+//   BM_DataPlaneE2EEpoch       - a full miniature experiment (trace ->
+//     plan -> simulate -> metrics), the same shape as the e2e smoke test.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "exp/experiment.hpp"
+#include "pipeline/pipelines.hpp"
+#include "profile/profiler.hpp"
+#include "serving/system.hpp"
+#include "sim/simulation.hpp"
+#include "trace/arrivals.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace loki;
+
+// --------------------------------------------------------------------------
+// Event core: arrival pump + rearmed timeout timers.
+// --------------------------------------------------------------------------
+void BM_DataPlaneArrivalIngest(benchmark::State& state) {
+  const std::uint64_t total = static_cast<std::uint64_t>(state.range(0));
+  // Self-rescheduling pump: one stable callable; the scheduled callback is
+  // a thin reference to it (8-byte capture, always inline in SmallFunction)
+  // instead of a re-wrapped std::function per arrival. The per-connection
+  // timeout is pushed out on every arrival via reschedule() — the re-armed
+  // timer fast path (one re-sift, no callback churn) — so it only fires
+  // after the pump stops.
+  struct Pump {
+    sim::Simulation& sim;
+    std::uint64_t total;
+    std::uint64_t n = 0;
+    sim::Simulation::EventId timeout{};
+    void operator()() {
+      ++n;
+      if (!sim.reschedule(timeout, sim.now() + 30.0)) {
+        timeout = sim.schedule_after(30.0, []() {});
+      }
+      if (n < total) sim.schedule_after(0.0001, [this]() { (*this)(); });
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulation sim;
+    Pump pump{sim, total};
+    pump.timeout = sim.schedule_after(30.0, []() {});
+    sim.schedule_at(0.0, [&pump]() { pump(); });
+    sim.run_all();
+    benchmark::DoNotOptimize(pump.n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total) *
+                          state.iterations());
+  state.counters["arrivals_per_s"] = benchmark::Counter(
+      static_cast<double>(total) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DataPlaneArrivalIngest)
+    ->Arg(1 << 18)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// Serving hot path: heavy constant demand through the two-task pipeline.
+// --------------------------------------------------------------------------
+void BM_DataPlaneForwardFanout(benchmark::State& state) {
+  const double qps = static_cast<double>(state.range(0));
+  const double duration_s = 8.0;
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const serving::ProfileTable profiles =
+      serving::build_profile_table(graph, profile::ModelProfiler());
+  std::uint64_t arrivals = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    serving::SystemConfig cfg;
+    cfg.allocator.cluster_size = 20;
+    cfg.allocator.slo_s = 0.250;
+    serving::MilpAllocator strategy(cfg.allocator, &graph, profiles);
+    serving::ServingSystem system(&sim, &graph, profiles, &strategy, cfg);
+    system.start();
+    trace::DemandCurve curve;
+    curve.interval_s = 1.0;
+    curve.qps.assign(static_cast<std::size_t>(duration_s), qps);
+    trace::ArrivalConfig acfg;
+    acfg.seed = 42;
+    trace::ArrivalStream stream(curve, acfg);
+    std::function<void()> pump = [&]() {
+      system.submit();
+      const double next = stream.next();
+      if (next >= 0.0) sim.schedule_at(next, pump);
+    };
+    const double first = stream.next();
+    if (first >= 0.0) sim.schedule_at(first, pump);
+    sim.run_until(duration_s + 2.0);
+    system.finish(duration_s + 2.0);
+    arrivals += system.metrics().arrivals();
+    benchmark::DoNotOptimize(system.metrics().completions());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+  state.counters["arrivals_per_s"] = benchmark::Counter(
+      static_cast<double>(arrivals), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DataPlaneForwardFanout)
+    ->Arg(2000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// Full miniature experiment epoch (same shape as the e2e smoke test).
+// --------------------------------------------------------------------------
+void BM_DataPlaneE2EEpoch(benchmark::State& state) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  trace::TraceConfig tcfg;
+  tcfg.shape = trace::TraceShape::kAzureDiurnal;
+  tcfg.duration_s = 60.0;
+  tcfg.peak_qps = 400.0;
+  tcfg.seed = 7;
+  const auto curve = trace::generate_trace(tcfg);
+  exp::ExperimentConfig cfg;
+  cfg.system = "loki-milp";
+  cfg.system_cfg.allocator.cluster_size = 12;
+  cfg.system_cfg.allocator.slo_s = 0.250;
+  cfg.arrivals.seed = 11;
+  std::uint64_t arrivals = 0;
+  for (auto _ : state) {
+    const auto result = exp::run_experiment(graph, curve, cfg);
+    arrivals += result.arrivals;
+    benchmark::DoNotOptimize(result.slo_violation_ratio);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+  state.counters["arrivals_per_s"] = benchmark::Counter(
+      static_cast<double>(arrivals), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DataPlaneE2EEpoch)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

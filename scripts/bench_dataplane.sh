@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Data-plane throughput runner: builds bm_dataplane in Release, runs the
+# BM_DataPlane* suite (event-core arrival ingest, serving forward fan-out,
+# full e2e epoch) with repetitions, writes BENCH_dataplane.json (raw
+# google-benchmark format), and gates the result against
+# bench/BENCH_dataplane_baseline.json via check_bench_regression.py
+# --suite dataplane.
+#
+# Wall-clock throughput is load-sensitive: on shared hosts real time can run
+# several times CPU time, which is why the dataplane gate ships with a wide
+# default slack (-35%). Rebaseline when moving hardware.
+#
+# Usage: scripts/bench_dataplane.sh [--quick] [--rebaseline] [output.json]
+#   --quick       one repetition, short min-time (CI smoke; noisy numbers)
+#   --rebaseline  copy the fresh report over the committed baseline instead
+#                 of gating against it
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+rebaseline=0
+out_json="BENCH_dataplane.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --rebaseline) rebaseline=1 ;;
+    *.json) out_json="$arg" ;;
+    *) echo "usage: $0 [--quick] [--rebaseline] [output.json]" >&2; exit 2 ;;
+  esac
+done
+
+build_dir="${BENCH_BUILD_DIR:-build-release}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+if ! cmake --build "$build_dir" -j "$jobs" --target bm_dataplane 2>/dev/null
+then
+  echo "bench targets unavailable (Google Benchmark not installed?)" >&2
+  exit 3
+fi
+
+bench_args=(--benchmark_out="$out_json" --benchmark_out_format=json)
+if [[ "$quick" == 1 ]]; then
+  # google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
+  # deprecates the bare double; older releases reject the suffix outright.
+  if "$build_dir/bm_dataplane" --benchmark_min_time=0.01s \
+       --benchmark_list_tests >/dev/null 2>&1; then
+    bench_args+=(--benchmark_min_time=0.01s)
+  else
+    bench_args+=(--benchmark_min_time=0.01)
+  fi
+else
+  bench_args+=(--benchmark_repetitions=3
+               --benchmark_report_aggregates_only=true)
+fi
+
+"$build_dir/bm_dataplane" "${bench_args[@]}"
+
+if [[ "$rebaseline" == 1 ]]; then
+  cp "$out_json" bench/BENCH_dataplane_baseline.json
+  echo "rebaselined bench/BENCH_dataplane_baseline.json from $out_json"
+elif [[ "$quick" == 1 ]]; then
+  echo "(--quick run: skipping the regression gate; numbers too noisy)"
+else
+  python3 scripts/check_bench_regression.py "$out_json" --suite dataplane
+fi

@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Gate on solver pivot-count regressions.
+"""Gate on benchmark regressions.
 
-Compares the cold 3-step allocation pivot total of a fresh BENCH_solver.json
-(the sum of lp_pivots over the BM_ResourceManagerMilp cases) against the
-checked-in baseline and fails when it regressed by more than the allowed
-fraction. Pivot counters are deterministic (seeded models, deterministic
-node budgets under LOKI_MILP_NO_TIME_LIMIT=1), so unlike wall times they are
-comparable across hosts and safe to gate CI on.
+Two suites:
 
-Usage: check_bench_regression.py CANDIDATE.json [--baseline PATH]
-                                 [--max-regress FRACTION]
+  solver (default)  - compares the cold 3-step allocation pivot total of a
+      fresh BENCH_solver.json (the sum of lp_pivots over the
+      BM_ResourceManagerMilp cases) against the checked-in baseline and
+      fails when it regressed by more than the allowed fraction. Pivot
+      counters are deterministic (seeded models, deterministic node budgets
+      under LOKI_MILP_NO_TIME_LIMIT=1), so unlike wall times they are
+      comparable across hosts and safe to gate CI on.
+
+  dataplane         - compares per-benchmark items_per_second of the
+      BM_DataPlane* throughput suite (BENCH_dataplane.json, raw
+      google-benchmark format) against bench/BENCH_dataplane_baseline.json.
+      Wall-clock throughput is host- and load-sensitive (the baseline host
+      is a shared 1-vCPU VM where real time can run several times CPU
+      time), so the default slack is much wider than the solver gate's and
+      the baseline should be regenerated (scripts/bench_dataplane.sh) when
+      moving to different hardware.
+
+Usage: check_bench_regression.py CANDIDATE.json [--suite solver|dataplane]
+                                 [--baseline PATH] [--max-regress FRACTION]
 Exit codes: 0 ok, 1 regression, 2 usage/malformed input.
 """
 
@@ -18,6 +30,7 @@ import json
 import sys
 
 COLD_BENCH_PREFIX = "BM_ResourceManagerMilp/"
+DATAPLANE_PREFIX = "BM_DataPlane"
 
 
 def cold_pivot_total(report_path):
@@ -38,21 +51,40 @@ def cold_pivot_total(report_path):
     return total, cases
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("candidate", help="freshly generated BENCH_solver.json")
-    ap.add_argument("--baseline", default="bench/BENCH_solver_baseline.json")
-    ap.add_argument("--max-regress", type=float, default=0.20,
-                    help="allowed fractional increase over baseline")
-    args = ap.parse_args()
+def dataplane_throughputs(report_path):
+    """name -> items_per_second for each BM_DataPlane* benchmark.
 
-    try:
-        base_total, base_cases = cold_pivot_total(args.baseline)
-        cand_total, cand_cases = cold_pivot_total(args.candidate)
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
-        print(f"check_bench_regression: {e}", file=sys.stderr)
-        return 2
+    Prefers the *_mean aggregate when the report was generated with
+    repetitions; falls back to the plain entry otherwise. The aggregate
+    suffix is stripped so candidate and baseline match regardless of how
+    either was generated.
+    """
+    with open(report_path) as f:
+        report = json.load(f)
+    plain = {}
+    means = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith(DATAPLANE_PREFIX):
+            continue
+        if "items_per_second" not in bench:
+            continue  # aggregate rows like *_cv carry relative values
+        if name.endswith("_mean"):
+            means[name[:-len("_mean")]] = bench["items_per_second"]
+        elif bench.get("run_type", "iteration") == "iteration":
+            plain[name] = bench["items_per_second"]
+    merged = dict(plain)
+    merged.update(means)  # aggregates win over per-repetition rows
+    if not merged:
+        raise ValueError(
+            f"no {DATAPLANE_PREFIX}* benchmarks with items_per_second "
+            f"in {report_path}")
+    return merged
 
+
+def run_solver_gate(args):
+    base_total, base_cases = cold_pivot_total(args.baseline)
+    cand_total, cand_cases = cold_pivot_total(args.candidate)
     limit = base_total * (1.0 + args.max_regress)
     verdict = "OK" if cand_total <= limit else "REGRESSION"
     print(f"cold 3-step allocation pivots: candidate {cand_total:.0f} "
@@ -65,6 +97,61 @@ def main():
               "commit bench/BENCH_solver_baseline.json.", file=sys.stderr)
         return 1
     return 0
+
+
+def run_dataplane_gate(args):
+    base = dataplane_throughputs(args.baseline)
+    cand = dataplane_throughputs(args.candidate)
+    failed = []
+    for name in sorted(base):
+        if name not in cand:
+            print(f"{name}: MISSING from candidate", file=sys.stderr)
+            failed.append(name)
+            continue
+        floor = base[name] * (1.0 - args.max_regress)
+        ok = cand[name] >= floor
+        print(f"{name}: candidate {cand[name]:,.0f} items/s vs baseline "
+              f"{base[name]:,.0f}; floor {floor:,.0f} "
+              f"[-{100 * args.max_regress:.0f}%] -> "
+              f"{'OK' if ok else 'REGRESSION'}")
+        if not ok:
+            failed.append(name)
+    if failed:
+        print("Data-plane throughput regressed. If the drop is intended or "
+              "the host changed, regenerate the baseline with "
+              "scripts/bench_dataplane.sh --rebaseline and commit "
+              "bench/BENCH_dataplane_baseline.json.", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("candidate", help="freshly generated benchmark JSON")
+    ap.add_argument("--suite", choices=("solver", "dataplane"),
+                    default="solver")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default depends on --suite)")
+    ap.add_argument("--max-regress", type=float, default=None,
+                    help="allowed fractional regression over baseline "
+                         "(default: solver 0.20, dataplane 0.35)")
+    args = ap.parse_args()
+    if args.baseline is None:
+        args.baseline = ("bench/BENCH_solver_baseline.json"
+                         if args.suite == "solver"
+                         else "bench/BENCH_dataplane_baseline.json")
+    if args.max_regress is None:
+        args.max_regress = 0.20 if args.suite == "solver" else 0.35
+
+    try:
+        if args.suite == "solver":
+            return run_solver_gate(args)
+        return run_dataplane_gate(args)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -31,6 +31,14 @@ InferLineStrategy::InferLineStrategy(serving::AllocatorConfig cfg,
 serving::PlanResult InferLineStrategy::plan(
     const serving::PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Request shape invariant: observed arrival rates are either absent
+  // (planner probes) or one entry per task — never a partial vector.
+  LOKI_CHECK_MSG(request.task_arrivals_qps.empty() ||
+                     static_cast<int>(request.task_arrivals_qps.size()) ==
+                         graph_->num_tasks(),
+                 "task_arrivals_qps has " << request.task_arrivals_qps.size()
+                                          << " entries for "
+                                          << graph_->num_tasks() << " tasks");
   const double demand_qps = request.demand_qps;
   const auto& mult = request.mult;
   const auto& g = *graph_;

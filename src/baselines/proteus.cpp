@@ -47,8 +47,16 @@ void ProteusStrategy::fold_observation(const std::vector<double>& qps,
 serving::PlanResult ProteusStrategy::plan(
     const serving::PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Request shape invariant: observed arrival rates are either absent
+  // (planner probes) or one entry per task — never a partial vector.
+  LOKI_CHECK_MSG(request.task_arrivals_qps.empty() ||
+                     static_cast<int>(request.task_arrivals_qps.size()) ==
+                         graph_->num_tasks(),
+                 "task_arrivals_qps has " << request.task_arrivals_qps.size()
+                                          << " entries for "
+                                          << graph_->num_tasks() << " tasks");
   // Observed arrivals ride in the request now (the old side-channel);
-  // an empty vector means the controller saw nothing since the last plan.
+  // an empty vector means no runtime observations (planner probes).
   if (!request.task_arrivals_qps.empty()) {
     const double periods =
         last_fold_time_s_ >= 0.0 && request.sim_time_s > last_fold_time_s_

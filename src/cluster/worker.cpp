@@ -1,6 +1,7 @@
 #include "cluster/worker.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -8,6 +9,28 @@ namespace loki::cluster {
 
 Worker::Worker(int id, sim::Simulation* sim) : id_(id), sim_(sim) {
   LOKI_CHECK(sim_ != nullptr);
+}
+
+std::vector<WorkItem> Worker::take_scratch() {
+  if (scratch_.empty()) return {};
+  std::vector<WorkItem> v = std::move(scratch_.back());
+  scratch_.pop_back();
+  return v;
+}
+
+void Worker::recycle_scratch(std::vector<WorkItem>&& v) {
+  v.clear();
+  if (scratch_.size() < 8) scratch_.push_back(std::move(v));
+}
+
+std::vector<WorkItem> Worker::flush_queue() {
+  std::vector<WorkItem> flushed;
+  flushed.reserve(queue_.size());
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    flushed.push_back(queue_[i]);
+  }
+  queue_.clear();
+  return flushed;
 }
 
 std::vector<WorkItem> Worker::assign(int task, int variant,
@@ -26,8 +49,7 @@ std::vector<WorkItem> Worker::assign(int task, int variant,
 
   // Different variant: flush the queue back to the caller and pay the load
   // delay (if enabled) before serving again.
-  std::vector<WorkItem> flushed(queue_.begin(), queue_.end());
-  queue_.clear();
+  std::vector<WorkItem> flushed = flush_queue();
   if (load_event_.valid()) {
     sim_->cancel(load_event_);
     load_event_ = {};
@@ -54,8 +76,7 @@ std::vector<WorkItem> Worker::assign(int task, int variant,
 }
 
 std::vector<WorkItem> Worker::deactivate() {
-  std::vector<WorkItem> flushed(queue_.begin(), queue_.end());
-  queue_.clear();
+  std::vector<WorkItem> flushed = flush_queue();
   if (load_event_.valid()) {
     sim_->cancel(load_event_);
     load_event_ = {};
@@ -101,9 +122,9 @@ void Worker::maybe_start_batch() {
 
 void Worker::start_batch() {
   // Form a batch of up to max_batch_ items, applying the batching-time drop
-  // filter (last-task early dropping).
-  std::vector<WorkItem> batch;
-  std::vector<WorkItem> dropped;
+  // filter (last-task early dropping). Vectors come from the recycle pool.
+  std::vector<WorkItem> batch = take_scratch();
+  std::vector<WorkItem> dropped = take_scratch();
   while (!queue_.empty() &&
          batch.size() < static_cast<std::size_t>(max_batch_)) {
     WorkItem item = queue_.front();
@@ -115,9 +136,11 @@ void Worker::start_batch() {
     }
   }
   if (!dropped.empty() && on_dropped_) {
-    on_dropped_(*this, std::move(dropped));
+    on_dropped_(*this, dropped);
   }
+  recycle_scratch(std::move(dropped));
   if (batch.empty()) {
+    recycle_scratch(std::move(batch));
     // Everything was dropped; re-check the queue.
     if (!queue_.empty()) start_batch();
     return;
@@ -137,7 +160,8 @@ void Worker::start_batch() {
   sim_->schedule_after(exec, [this, ctx, batch = std::move(batch)]() mutable {
     busy_ = false;
     inflight_ = 0;
-    if (on_batch_done_) on_batch_done_(*this, std::move(batch), ctx);
+    if (on_batch_done_) on_batch_done_(*this, batch, ctx);
+    recycle_scratch(std::move(batch));
     maybe_start_batch();
   });
 }

@@ -6,13 +6,20 @@
 // The worker is policy-free: batching-time drop decisions and post-execution
 // forwarding are delegated to callbacks installed by the serving runtime, so
 // the same worker serves Loki and both baselines.
+//
+// Hot-path allocation discipline: the queue is a RingBuffer (contiguous,
+// power-of-two ring — no per-chunk deque allocations), and batch vectors are
+// recycled through a small free list, so steady-state batching performs no
+// heap allocation. Batch/drop callbacks therefore receive a *borrowed*
+// vector (`std::vector<WorkItem>&`): consume or move out the items, but do
+// not keep a reference to the vector itself past the call.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/pool.hpp"
 #include "profile/variant.hpp"
 #include "sim/simulation.hpp"
 
@@ -44,9 +51,10 @@ class Worker {
     const profile::ModelVariant* model = nullptr;
   };
 
-  /// Called when a batch finishes executing.
-  using BatchDoneFn = std::function<void(Worker&, std::vector<WorkItem>&&,
-                                         const BatchContext&)>;
+  /// Called when a batch finishes executing. The item vector is borrowed
+  /// (recycled by the worker after the call returns).
+  using BatchDoneFn =
+      std::function<void(Worker&, std::vector<WorkItem>&, const BatchContext&)>;
   /// Batching-time filter: return true to drop the item *before* execution
   /// (last-task early dropping, §5.2). Dropped items are reported through
   /// this callback's side effects, not executed.
@@ -59,7 +67,8 @@ class Worker {
 
   /// Installs runtime callbacks. Must be set before any enqueue.
   /// Items dropped by the batching-time filter (deadline already lost).
-  using DroppedFn = std::function<void(Worker&, std::vector<WorkItem>&&)>;
+  /// Borrowed vector, same discipline as BatchDoneFn.
+  using DroppedFn = std::function<void(Worker&, std::vector<WorkItem>&)>;
 
   void set_batch_done(BatchDoneFn fn) { on_batch_done_ = std::move(fn); }
   void set_drop_filter(DropFilterFn fn) { drop_filter_ = std::move(fn); }
@@ -107,6 +116,9 @@ class Worker {
  private:
   void maybe_start_batch();
   void start_batch();
+  std::vector<WorkItem> take_scratch();
+  void recycle_scratch(std::vector<WorkItem>&& v);
+  std::vector<WorkItem> flush_queue();
 
   int id_;
   sim::Simulation* sim_;
@@ -119,7 +131,10 @@ class Worker {
   bool loading_ = false;
   std::size_t inflight_ = 0;
   double batch_wait_s_ = 0.0;
-  std::deque<WorkItem> queue_;
+  RingBuffer<WorkItem> queue_;
+  /// Recycled batch/drop vectors: capacity survives the round trip through
+  /// the completion callback, so steady state allocates nothing.
+  std::vector<std::vector<WorkItem>> scratch_;
   sim::Simulation::EventId load_event_{};
   sim::Simulation::EventId wait_event_{};
 

@@ -1,0 +1,149 @@
+// Move-only callable wrapper with inline storage: the std::function
+// replacement for the data-plane hot path. std::function heap-allocates any
+// capture over its tiny SBO (16 bytes on libstdc++), which made every
+// scheduled simulation event a malloc/free pair. SmallFunction stores
+// captures up to `Inline` bytes in place (no allocation, ever, for the
+// event-loop lambdas this codebase schedules) and falls back to the heap for
+// oversized captures so arbitrary callables still work.
+//
+// Unlike std::function it is move-only, which also lets callbacks own
+// move-only state (pooled buffers, unique_ptrs) without shared_ptr wrappers.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace loki {
+
+template <typename Sig, std::size_t Inline = 80>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t Inline>
+class SmallFunction<R(Args...), Inline> {
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Inline &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(&storage_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  using Storage =
+      std::aligned_storage_t<(Inline > sizeof(void*) ? Inline : sizeof(void*)),
+                             alignof(std::max_align_t)>;
+
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*move)(void* dst, void* src);  // move-construct dst from src
+    void (*destroy)(void*);
+    /// >0 when the inline capture is trivially copyable *and* trivially
+    /// destructible: move is a memcpy of this many bytes and destroy is a
+    /// no-op, so the only indirect call left on the hot path is invoke.
+    /// (Indirect branches are expensive on retpoline-mitigated hosts; the
+    /// event loop's 8-byte pointer captures all qualify.)
+    std::size_t trivial_size;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>
+          ? sizeof(Fn)
+          : 0};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* s, Args&&... args) -> R {
+        return (**reinterpret_cast<Fn**>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+      },
+      [](void* s) { delete *reinterpret_cast<Fn**>(s); },
+      0};  // owns a heap object: destroy must run
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.ops_) {
+      ops_ = other.ops_;
+      if (const std::size_t n = ops_->trivial_size) {
+        // Copying a trivial capture's storage byte-wise is well-defined even
+        // when the capture is an empty lambda whose cell was never written;
+        // GCC cannot see that and warns on the (dead) 1-byte read.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+        std::memcpy(&storage_, &other.storage_, n);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+      } else {
+        ops_->move(&storage_, &other.storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (ops_) {
+      if (ops_->trivial_size == 0) ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace loki

@@ -165,4 +165,29 @@ double TimeSeries::max() const {
   return points_.empty() ? 0.0 : m;
 }
 
+void TimeSeries::combine(const TimeSeries& other, bool sum) {
+  constexpr double kEps = 1e-9;
+  std::vector<Point> merged;
+  merged.reserve(points_.size() + other.points_.size());
+  std::size_t i = 0, j = 0;
+  while (i < points_.size() && j < other.points_.size()) {
+    const Point& a = points_[i];
+    const Point& b = other.points_[j];
+    if (std::abs(a.t - b.t) <= kEps) {
+      merged.push_back({a.t, sum ? a.v + b.v : 0.5 * (a.v + b.v)});
+      ++i;
+      ++j;
+    } else if (a.t < b.t) {
+      merged.push_back(a);
+      ++i;
+    } else {
+      merged.push_back(b);
+      ++j;
+    }
+  }
+  for (; i < points_.size(); ++i) merged.push_back(points_[i]);
+  for (; j < other.points_.size(); ++j) merged.push_back(other.points_[j]);
+  points_ = std::move(merged);
+}
+
 }  // namespace loki

@@ -103,6 +103,12 @@ class TimeSeries {
   double mean() const;
   double max() const;
 
+  /// Pointwise combination with another time-ordered series on a shared
+  /// window grid (parallel-shard reduction): points with matching
+  /// timestamps combine — sum when `sum`, else across-series mean —
+  /// and unmatched points pass through unchanged.
+  void combine(const TimeSeries& other, bool sum);
+
  private:
   std::vector<Point> points_;
   std::vector<Point> windowed(double t0, double t1, double window,

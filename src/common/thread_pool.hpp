@@ -1,9 +1,12 @@
 // Fixed-size thread pool used to parallelize experiment sweeps (e.g. the SLO
-// sensitivity sweep runs one full simulation per SLO value on its own core).
+// sensitivity sweep runs one full simulation per SLO value on its own core)
+// and, since the data-plane overhaul, the opt-in parallel simulation mode
+// (sim::ParallelSimulation drives its per-shard sequential simulators over
+// this pool in conservative lockstep windows).
 //
-// The simulator itself is single-threaded and deterministic; parallelism in
-// this codebase lives at the between-experiments level, which keeps results
-// bit-reproducible while still saturating the machine.
+// Each individual simulator remains single-threaded and deterministic;
+// parallelism lives between experiments or between shards, which keeps
+// results bit-reproducible while still saturating the machine.
 #pragma once
 
 #include <condition_variable>

@@ -1,12 +1,15 @@
 #include "exp/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "baselines/inferline.hpp"
 #include "baselines/proteus.hpp"
 #include "common/check.hpp"
 #include "profile/profiler.hpp"
 #include "serving/strategy_registry.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
 
 namespace loki::exp {
@@ -70,6 +73,112 @@ std::unique_ptr<serving::AllocationStrategy> make_strategy(
   return make_strategy(to_string(kind), cfg, graph, profiles);
 }
 
+namespace {
+
+ExperimentResult result_from_metrics(const std::string& name,
+                                     const serving::Metrics& m,
+                                     double total_solve_time_s,
+                                     int allocations) {
+  ExperimentResult out;
+  out.system_name = name;
+  out.slo_violation_ratio = m.slo_violation_ratio();
+  out.mean_accuracy = m.mean_accuracy();
+  out.mean_latency_s = m.mean_latency_s();
+  out.p99_latency_s = m.p99_latency_s();
+  out.mean_servers_used = m.mean_servers_used();
+  out.arrivals = m.arrivals();
+  out.drops = m.drops();
+  out.total_solve_time_s = total_solve_time_s;
+  out.allocations = allocations;
+  out.metrics = m;
+  return out;
+}
+
+/// Parallel simulation mode: K independent (cluster slice, arrival slice)
+/// shards advanced in conservative lockstep windows, metrics merged.
+ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
+                                        const trace::DemandCurve& curve,
+                                        const ExperimentConfig& cfg,
+                                        const serving::ProfileTable& profiles,
+                                        std::size_t shards) {
+  // Round-robin partition of the *same* arrival sequence the sequential
+  // reference uses: arrival j goes to shard j % K, so the total arrival
+  // count matches the sequential run exactly and each shard sees ~1/K of
+  // the demand at every point in time.
+  std::vector<std::vector<double>> shard_arrivals(shards);
+  {
+    trace::ArrivalStream stream(curve, cfg.arrivals);
+    std::size_t j = 0;
+    for (double t = stream.next(); t >= 0.0; t = stream.next(), ++j) {
+      shard_arrivals[j % shards].push_back(t);
+    }
+  }
+
+  sim::ParallelSimulation::Config pcfg;
+  pcfg.shards = shards;
+  pcfg.window_s = cfg.sim_window_s;
+  sim::ParallelSimulation psim(pcfg);
+
+  // Each shard gets a proportional slice of the cluster (remainder to the
+  // first shards) and its own strategy + serving system + RNG streams
+  // (decorrelated seeds: shards model disjoint replica groups).
+  const int cluster = cfg.system_cfg.allocator.cluster_size;
+  std::vector<std::unique_ptr<serving::AllocationStrategy>> strategies;
+  std::vector<std::unique_ptr<serving::ServingSystem>> systems;
+  for (std::size_t s = 0; s < shards; ++s) {
+    serving::SystemConfig scfg = cfg.system_cfg;
+    const int share = cluster / static_cast<int>(shards) +
+                      (static_cast<int>(s) <
+                               cluster % static_cast<int>(shards)
+                           ? 1
+                           : 0);
+    scfg.allocator.cluster_size = share;
+    scfg.seed = cfg.system_cfg.seed + 1000003 * (s + 1);
+    strategies.push_back(
+        make_strategy(cfg.system, scfg.allocator, &graph, profiles));
+    systems.push_back(std::make_unique<serving::ServingSystem>(
+        &psim.shard(s), &graph, profiles, strategies.back().get(), scfg));
+  }
+  // start() performs the initial allocation (solver work): sequential, so
+  // strategy construction stays off the worker threads.
+  for (auto& system : systems) system->start();
+
+  // Per-shard arrival pumps over the pre-partitioned sequences.
+  std::vector<std::size_t> next_idx(shards, 0);
+  std::vector<std::function<void()>> pumps(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    pumps[s] = [&, s]() {
+      systems[s]->submit();
+      const std::size_t i = ++next_idx[s];
+      if (i < shard_arrivals[s].size()) {
+        psim.shard(s).schedule_at(shard_arrivals[s][i],
+                                  [&pump = pumps[s]]() { pump(); });
+      }
+    };
+    if (!shard_arrivals[s].empty()) {
+      psim.shard(s).schedule_at(shard_arrivals[s][0],
+                                [&pump = pumps[s]]() { pump(); });
+    }
+  }
+
+  const double t_end = curve.duration_s() + cfg.drain_s;
+  psim.run_until(t_end);
+
+  serving::Metrics merged(cfg.system_cfg.metrics_window_s);
+  double solve_s = 0.0;
+  int allocations = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    systems[s]->finish(t_end);
+    merged.merge(systems[s]->metrics());
+    solve_s += systems[s]->total_solve_time_s();
+    allocations += systems[s]->allocations_performed();
+  }
+  return result_from_metrics(strategies.front()->name(), merged, solve_s,
+                             allocations);
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
                                 const trace::DemandCurve& curve,
                                 const ExperimentConfig& cfg) {
@@ -78,6 +187,18 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
                                   cfg.profiler_seed);
   serving::ProfileTable profiles =
       serving::build_profile_table(graph, profiler);
+
+  // Every shard's allocator needs at least one worker per task, so the
+  // shard count is bounded by cluster_size / num_tasks.
+  const std::size_t max_shards = static_cast<std::size_t>(
+      std::max(1, cfg.system_cfg.allocator.cluster_size /
+                      std::max(1, graph.num_tasks())));
+  const std::size_t shards =
+      std::min(std::max<std::size_t>(1, cfg.sim_shards), max_shards);
+  if (shards > 1) {
+    return run_experiment_sharded(graph, curve, cfg, profiles, shards);
+  }
+
   auto strategy = make_strategy(cfg.system, cfg.system_cfg.allocator, &graph,
                                 profiles);
 
@@ -101,20 +222,9 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
   sim.run_until(t_end);
   system.finish(t_end);
 
-  ExperimentResult out;
-  out.system_name = strategy->name();
-  const auto& m = system.metrics();
-  out.slo_violation_ratio = m.slo_violation_ratio();
-  out.mean_accuracy = m.mean_accuracy();
-  out.mean_latency_s = m.mean_latency_s();
-  out.p99_latency_s = m.p99_latency_s();
-  out.mean_servers_used = m.mean_servers_used();
-  out.arrivals = m.arrivals();
-  out.drops = m.drops();
-  out.total_solve_time_s = system.total_solve_time_s();
-  out.allocations = system.allocations_performed();
-  out.metrics = m;
-  return out;
+  return result_from_metrics(strategy->name(), system.metrics(),
+                             system.total_solve_time_s(),
+                             system.allocations_performed());
 }
 
 PlanProbe probe_plan(serving::AllocationStrategy& strategy,

@@ -52,6 +52,16 @@ struct ExperimentConfig {
   /// Profiler measurement noise (0 = ideal profiles).
   double profiler_noise_frac = 0.0;
   std::uint64_t profiler_seed = 1;
+  /// Opt-in parallel simulation mode: split the run across this many event
+  /// shards (1 = the sequential, bit-reproducible reference). Each shard
+  /// simulates an independent slice of the cluster serving a round-robin
+  /// slice of the same arrival sequence (total arrivals are exactly equal to
+  /// the sequential run); per-shard metrics merge at the end. Shards are
+  /// clamped so every shard keeps at least one worker per pipeline task.
+  /// See README "Data-plane architecture" for determinism/merging caveats.
+  std::size_t sim_shards = 1;
+  /// Conservative synchronization window for parallel mode (seconds).
+  double sim_window_s = 0.25;
 };
 
 struct ExperimentResult {

@@ -438,6 +438,14 @@ GreedyAllocator::split_configs() {
 PlanResult GreedyAllocator::plan(const PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto& g = *graph_;
+  // Request shape invariant: observed arrival rates are either absent
+  // (planner probes) or one entry per task — never a partial vector.
+  LOKI_CHECK_MSG(request.task_arrivals_qps.empty() ||
+                     static_cast<int>(request.task_arrivals_qps.size()) ==
+                         g.num_tasks(),
+                 "task_arrivals_qps has " << request.task_arrivals_qps.size()
+                                          << " entries for " << g.num_tasks()
+                                          << " tasks");
   const double demand_qps = request.demand_qps;
   const auto& mult = request.mult;
   const auto& per_split = split_configs();
@@ -1106,6 +1114,14 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
 
 PlanResult MilpAllocator::plan(const PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Request shape invariant: observed arrival rates are either absent
+  // (planner probes) or one entry per task — never a partial vector.
+  LOKI_CHECK_MSG(request.task_arrivals_qps.empty() ||
+                     static_cast<int>(request.task_arrivals_qps.size()) ==
+                         graph_->num_tasks(),
+                 "task_arrivals_qps has " << request.task_arrivals_qps.size()
+                                          << " entries for "
+                                          << graph_->num_tasks() << " tasks");
   ensure_epoch_context();
   const double demand_qps = request.demand_qps;
   const auto& splits = epoch_->splits;

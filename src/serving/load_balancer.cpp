@@ -6,6 +6,36 @@
 
 namespace loki::serving {
 
+int pick_route(const std::vector<GroupRoute>& routes, double r) {
+  if (routes.empty()) return -1;
+  double cum = 0.0;
+  for (const auto& route : routes) {
+    cum += route.probability;
+    if (r < cum) return route.group;
+  }
+  // Probabilities that are meant to be exhaustive (qps shares of a fully
+  // placed demand) can accumulate to 0.999...; a draw in that fp tail must
+  // not shed. A genuinely partial table (sum < 1) keeps returning -1.
+  if (cum >= 1.0 - 1e-9) return routes.back().group;
+  return -1;  // unplaced remainder
+}
+
+void RoutingPlan::finalize(int num_tasks) {
+  route_tasks_ = num_tasks;
+  route_index_.assign(
+      group_routes.size() * static_cast<std::size_t>(num_tasks), -1);
+  route_tables_.clear();
+  for (std::size_t gi = 0; gi < group_routes.size(); ++gi) {
+    for (const auto& [task, table] : group_routes[gi]) {
+      if (task < 0 || task >= num_tasks) continue;
+      route_index_[gi * static_cast<std::size_t>(num_tasks) +
+                   static_cast<std::size_t>(task)] =
+          static_cast<std::int32_t>(route_tables_.size());
+      route_tables_.push_back(table);
+    }
+  }
+}
+
 LoadBalancer::LoadBalancer(const pipeline::PipelineGraph* graph,
                            const ProfileTable* profiles,
                            double utilization_target)
@@ -142,6 +172,7 @@ RoutingPlan LoadBalancer::most_accurate_first(
            g.task(t).catalog.at(ic.variant).accuracy});
     }
   }
+  out.finalize(g.num_tasks());
   return out;
 }
 

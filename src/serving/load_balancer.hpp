@@ -8,6 +8,7 @@
 // the least-loaded replica within the chosen group.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -49,7 +50,42 @@ struct RoutingPlan {
   std::vector<double> group_exec_s;
   /// Planned incoming QPS per group (diagnostics / tests).
   std::vector<double> group_incoming_qps;
+
+  /// Dense [group][child_task] lookup over group_routes, rebuilt by
+  /// finalize(): the per-forwarded-item path does one multiply-add and an
+  /// array read instead of a map search. Semantics are preserved exactly:
+  /// a missing (group, task) entry returns nullptr (stale-plan marker — the
+  /// runtime falls back to any worker of the task), while an *empty* table
+  /// is a real table meaning "drop" (no capacity anywhere downstream).
+  const std::vector<GroupRoute>* routes_for(int group, int task) const {
+    if (group < 0 || group >= static_cast<int>(group_routes.size()) ||
+        task < 0 || task >= route_tasks_) {
+      return nullptr;
+    }
+    const std::int32_t k =
+        route_index_[static_cast<std::size_t>(group) *
+                         static_cast<std::size_t>(route_tasks_) +
+                     static_cast<std::size_t>(task)];
+    return k < 0 ? nullptr : &route_tables_[static_cast<std::size_t>(k)];
+  }
+  /// (Re)builds the dense index from group_routes. The LoadBalancer calls
+  /// this before returning; call it again after mutating group_routes by
+  /// hand (tests).
+  void finalize(int num_tasks);
+
+ private:
+  int route_tasks_ = 0;
+  std::vector<std::int32_t> route_index_;  // [group * route_tasks_ + task]
+  std::vector<std::vector<GroupRoute>> route_tables_;
 };
+
+/// Draws from a route distribution with uniform sample `r` in [0, 1).
+/// Returns the chosen group, or -1 when the draw lands in the unplaced
+/// remainder (probabilities sum < 1: intentional shed/drop). When the table
+/// is exhaustive (probabilities sum to ~1) a draw past the accumulated tail
+/// is floating-point rounding, not remainder, and falls back to the last
+/// route instead of spuriously shedding.
+int pick_route(const std::vector<GroupRoute>& routes, double r);
 
 class LoadBalancer {
  public:

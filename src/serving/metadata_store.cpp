@@ -1,6 +1,8 @@
 #include "serving/metadata_store.hpp"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -16,36 +18,90 @@ void MetadataStore::register_pipeline(const pipeline::PipelineGraph* graph,
   mult_estimates_ = pipeline::default_mult_factors(*graph);
 }
 
+template <typename Rec>
+void MetadataStore::record_into(std::vector<Shard<Rec>>& shards,
+                                Rec rec) const {
+  // Tickets give records a global order independent of which stripe (and,
+  // in parallel mode, which thread) they land on.
+  const std::uint64_t ticket =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  auto& shard = shards[ticket % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.records.push_back({ticket, std::move(rec)});
+  // Per-stripe bound: the merged view trims to history_limit_, so each
+  // stripe never needs more than the full limit on its own.
+  while (shard.records.size() > history_limit_) shard.records.pop_front();
+}
+
+template <typename Rec>
+void MetadataStore::rebuild_merged(std::vector<Shard<Rec>>& shards,
+                                   std::deque<Rec>& merged,
+                                   std::size_t history_limit) {
+  std::vector<std::pair<std::uint64_t, const Rec*>> all;
+  for (auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [ticket, rec] : shard.records) {
+      all.push_back({ticket, &rec});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::size_t start =
+      all.size() > history_limit ? all.size() - history_limit : 0;
+  merged.clear();
+  for (std::size_t i = start; i < all.size(); ++i) {
+    merged.push_back(*all[i].second);
+  }
+}
+
 void MetadataStore::record_demand(double t, double estimate_qps) {
-  demand_history_.push_back({t, estimate_qps});
-  while (demand_history_.size() > history_limit_) demand_history_.pop_front();
+  record_into(demand_shards_, DemandSample{t, estimate_qps});
+  demand_dirty_.store(true, std::memory_order_release);
+}
+
+const std::deque<MetadataStore::DemandSample>& MetadataStore::demand_history()
+    const {
+  if (demand_dirty_.exchange(false, std::memory_order_acq_rel)) {
+    rebuild_merged(demand_shards_, merged_demand_, history_limit_);
+  }
+  return merged_demand_;
 }
 
 double MetadataStore::recent_demand_mean(std::size_t n) const {
-  if (demand_history_.empty() || n == 0) return 0.0;
+  const auto& history = demand_history();
+  if (history.empty() || n == 0) return 0.0;
   double sum = 0.0;
   std::size_t count = 0;
-  for (auto it = demand_history_.rbegin();
-       it != demand_history_.rend() && count < n; ++it, ++count) {
+  for (auto it = history.rbegin(); it != history.rend() && count < n;
+       ++it, ++count) {
     sum += it->estimate_qps;
   }
   return sum / static_cast<double>(count);
 }
 
 void MetadataStore::record_plan(double t, AllocationPlan plan) {
-  plan_history_.push_back({t, std::move(plan)});
-  while (plan_history_.size() > history_limit_) plan_history_.pop_front();
+  record_into(plan_shards_, PlanRecord{t, std::move(plan)});
+  plan_dirty_.store(true, std::memory_order_release);
+}
+
+const std::deque<MetadataStore::PlanRecord>& MetadataStore::plan_history()
+    const {
+  if (plan_dirty_.exchange(false, std::memory_order_acq_rel)) {
+    rebuild_merged(plan_shards_, merged_plans_, history_limit_);
+  }
+  return merged_plans_;
 }
 
 const AllocationPlan* MetadataStore::current_plan() const {
-  return plan_history_.empty() ? nullptr : &plan_history_.back().plan;
+  const auto& history = plan_history();
+  return history.empty() ? nullptr : &history.back().plan;
 }
 
 int MetadataStore::variant_change_count() const {
   int changes = 0;
   std::set<std::pair<int, int>> prev;
   bool first = true;
-  for (const auto& rec : plan_history_) {
+  for (const auto& rec : plan_history()) {
     std::set<std::pair<int, int>> cur;
     for (const auto& ic : rec.plan.instances) {
       cur.insert({ic.task, ic.variant});
@@ -58,6 +114,7 @@ int MetadataStore::variant_change_count() const {
 }
 
 void MetadataStore::record_mult_factors(pipeline::MultFactorTable estimates) {
+  std::lock_guard<std::mutex> lock(mult_mu_);
   mult_estimates_ = std::move(estimates);
 }
 

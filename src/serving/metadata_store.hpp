@@ -4,10 +4,22 @@
 // history of allocation plans. The ServingSystem records into it when one
 // is attached; operators and tests read from it ("what did the controller
 // know, and when").
+//
+// Internally the mutable history state is *sharded* (lock-striped): records
+// land on one of kShards stripes under that stripe's mutex, tagged with a
+// globally-ordered ticket, so per-shard serving systems in parallel
+// simulation mode can share one store without serializing on a single lock.
+// The public read interface is unchanged — accessors return the merged,
+// ticket-ordered history (rebuilt lazily, cached until the next write).
+// Readers are control-plane/test code and must not run concurrently with
+// writers (same contract a single-threaded store had).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
-#include <optional>
+#include <mutex>
+#include <vector>
 
 #include "pipeline/graph.hpp"
 #include "serving/allocation.hpp"
@@ -35,17 +47,16 @@ class MetadataStore {
   const ProfileTable& profiles() const { return profiles_; }
   double slo_s() const { return slo_s_; }
 
-  /// Demand history (bounded ring; most recent last).
+  /// Demand history (bounded ring; most recent last). Thread-safe.
   void record_demand(double t, double estimate_qps);
-  const std::deque<DemandSample>& demand_history() const {
-    return demand_history_;
-  }
+  /// Merged record-ordered history. Not safe concurrent with writers.
+  const std::deque<DemandSample>& demand_history() const;
   /// Mean of the last `n` samples (0 when empty).
   double recent_demand_mean(std::size_t n) const;
 
-  /// Allocation-plan history (bounded ring; most recent last).
+  /// Allocation-plan history (bounded ring; most recent last). Thread-safe.
   void record_plan(double t, AllocationPlan plan);
-  const std::deque<PlanRecord>& plan_history() const { return plan_history_; }
+  const std::deque<PlanRecord>& plan_history() const;
   const AllocationPlan* current_plan() const;
   /// Number of plan transitions whose variant sets differ (swap pressure).
   int variant_change_count() const;
@@ -59,12 +70,34 @@ class MetadataStore {
   void set_history_limit(std::size_t n) { history_limit_ = n; }
 
  private:
+  static constexpr std::size_t kShards = 8;
+
+  template <typename Rec>
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::pair<std::uint64_t, Rec>> records;  // (ticket, record)
+  };
+
+  template <typename Rec>
+  void record_into(std::vector<Shard<Rec>>& shards, Rec rec) const;
+  template <typename Rec>
+  static void rebuild_merged(std::vector<Shard<Rec>>& shards,
+                             std::deque<Rec>& merged,
+                             std::size_t history_limit);
+
   const pipeline::PipelineGraph* graph_ = nullptr;
   ProfileTable profiles_;
   double slo_s_ = 0.0;
   std::size_t history_limit_ = 4096;
-  std::deque<DemandSample> demand_history_;
-  std::deque<PlanRecord> plan_history_;
+
+  mutable std::atomic<std::uint64_t> next_ticket_{0};
+  mutable std::vector<Shard<DemandSample>> demand_shards_{kShards};
+  mutable std::vector<Shard<PlanRecord>> plan_shards_{kShards};
+  mutable std::atomic<bool> demand_dirty_{false};
+  mutable std::atomic<bool> plan_dirty_{false};
+  mutable std::deque<DemandSample> merged_demand_;
+  mutable std::deque<PlanRecord> merged_plans_;
+  mutable std::mutex mult_mu_;
   pipeline::MultFactorTable mult_estimates_;
 };
 

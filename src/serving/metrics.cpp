@@ -89,4 +89,26 @@ double Metrics::slo_violation_ratio() const {
 
 void Metrics::flush(double t) { roll(t + window_s_); }
 
+void Metrics::merge(const Metrics& other) {
+  arrivals_ += other.arrivals_;
+  completions_ += other.completions_;
+  violations_ += other.violations_;
+  drops_ += other.drops_;
+  shed_ += other.shed_;
+  late_ += other.late_;
+  forwards_ += other.forwards_;
+  model_swaps_ += other.model_swaps_;
+  accuracy_.merge(other.accuracy_);
+  latency_.merge(other.latency_);
+  servers_.merge(other.servers_);
+  // Shards share the window grid (same window_s_, windows anchored at 0), so
+  // pointwise combination lines up. Count-like series sum; ratio series take
+  // the across-shard mean (see header caveat).
+  demand_series_.combine(other.demand_series_, /*sum=*/true);
+  servers_series_.combine(other.servers_series_, /*sum=*/true);
+  accuracy_series_.combine(other.accuracy_series_, /*sum=*/false);
+  violation_series_.combine(other.violation_series_, /*sum=*/false);
+  utilization_series_.combine(other.utilization_series_, /*sum=*/false);
+}
+
 }  // namespace loki::serving

@@ -27,6 +27,12 @@ class Metrics {
   void record_utilization(double t, int servers_used, int cluster_size);
   void record_demand_estimate(double t, double qps);
   void record_allocation(double t, double solve_time_s, int mode);
+  /// Intermediate-result forwards committed to downstream workers (fan-out
+  /// volume; the per-batch bookkeeping that used to be computed and thrown
+  /// away in the runtime).
+  void record_forwards(std::uint64_t n) { forwards_ += n; }
+  /// A worker paid a model-load delay to change its hosted (task, variant).
+  void record_model_swap() { ++model_swaps_; }
 
   // --- Summary accessors ---
   std::uint64_t arrivals() const { return arrivals_; }
@@ -35,6 +41,8 @@ class Metrics {
   std::uint64_t drops() const { return drops_; }
   std::uint64_t shed() const { return shed_; }
   std::uint64_t late() const { return late_; }
+  std::uint64_t forwards() const { return forwards_; }
+  std::uint64_t model_swaps() const { return model_swaps_; }
   double slo_violation_ratio() const;
   /// Mean profiled accuracy over queries served on time or late.
   double mean_accuracy() const { return accuracy_.mean(); }
@@ -56,6 +64,16 @@ class Metrics {
   /// run so the tail shows up).
   void flush(double t);
 
+  /// Folds another (flushed) Metrics into this one — the parallel-sim-mode
+  /// reduction over per-shard serving systems. Counters and sample
+  /// distributions merge exactly. Timeseries combine pointwise on the shared
+  /// window grid: count-like series (demand, servers, utilization·cluster)
+  /// sum; ratio series (accuracy, violation, utilization) take the
+  /// across-shard mean, which is exact only when shards carry equal weight —
+  /// round-robin arrival splitting makes them near-equal (documented
+  /// parallel-mode caveat in the README).
+  void merge(const Metrics& other);
+
  private:
   void roll(double t);
 
@@ -69,6 +87,8 @@ class Metrics {
   std::uint64_t drops_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t late_ = 0;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t model_swaps_ = 0;
   RunningStats accuracy_;
   PercentileTracker latency_;
   RunningStats servers_;

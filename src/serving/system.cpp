@@ -49,13 +49,13 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
   for (int i = 0; i < cfg_.allocator.cluster_size; ++i) {
     auto w = std::make_unique<cluster::Worker>(i, sim_);
     w->set_batch_done([this](cluster::Worker& wk,
-                             std::vector<cluster::WorkItem>&& items,
+                             std::vector<cluster::WorkItem>& items,
                              const cluster::Worker::BatchContext& ctx) {
-      on_batch_done(wk, std::move(items), ctx);
+      on_batch_done(wk, items, ctx);
     });
     w->set_dropped_sink([this](cluster::Worker& wk,
-                               std::vector<cluster::WorkItem>&& items) {
-      on_dropped_items(wk, std::move(items));
+                               std::vector<cluster::WorkItem>& items) {
+      on_dropped_items(wk, items);
     });
     if (cfg_.drop_policy == DropPolicy::kLastTask ||
         cfg_.drop_policy == DropPolicy::kOpportunisticReroute) {
@@ -181,13 +181,12 @@ void ServingSystem::submit() {
     if (metered) metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0);
     return;
   }
-  const std::uint64_t qid = next_query_id_++;
-  QueryState qs;
+  const std::uint64_t qid = queries_.emplace();
+  QueryState& qs = queries_.get(qid);
   qs.arrival = now;
   qs.deadline = now + cfg_.allocator.slo_s;
   qs.outstanding = 1;
   qs.metered = metered;
-  queries_.emplace(qid, qs);
 
   cluster::WorkItem item;
   item.query_id = qid;
@@ -198,14 +197,10 @@ void ServingSystem::submit() {
 }
 
 int ServingSystem::pick_group(const std::vector<GroupRoute>& routes) {
+  // Empty tables short-circuit before drawing so the routing RNG stream
+  // advances exactly as often as before (bit-reproducibility).
   if (routes.empty()) return -1;
-  const double r = rng_routing_.uniform();
-  double cum = 0.0;
-  for (const auto& route : routes) {
-    cum += route.probability;
-    if (r < cum) return route.group;
-  }
-  return -1;  // unplaced remainder
+  return pick_route(routes, rng_routing_.uniform());
 }
 
 int ServingSystem::pick_worker(int group) const {
@@ -299,13 +294,13 @@ bool ServingSystem::last_task_filter(const cluster::Worker& w,
 }
 
 void ServingSystem::on_dropped_items(cluster::Worker& /*w*/,
-                                     std::vector<cluster::WorkItem>&& items) {
+                                     std::vector<cluster::WorkItem>& items) {
   const double now = sim_->now();
   for (const auto& item : items) drop_query_part(item.query_id, now);
 }
 
 void ServingSystem::on_batch_done(cluster::Worker& w,
-                                  std::vector<cluster::WorkItem>&& items,
+                                  std::vector<cluster::WorkItem>& items,
                                   const cluster::Worker::BatchContext& ctx) {
   const double now = sim_->now();
   const int task = ctx.task;
@@ -329,10 +324,9 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
     item.debt_s = over;
 
     if (is_sink) {
-      auto it = queries_.find(item.query_id);
-      if (it != queries_.end()) {
-        it->second.accuracy_sum += item.accuracy_so_far;
-        ++it->second.sink_completions;
+      if (QueryState* qs = queries_.find(item.query_id)) {
+        qs->accuracy_sum += item.accuracy_so_far;
+        ++qs->sink_completions;
       }
       complete_part(item.query_id, now);
       continue;
@@ -359,10 +353,9 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
       }
     }
 
-    auto qit = queries_.find(item.query_id);
-    if (qit == queries_.end()) continue;  // already finalized (shouldn't)
+    QueryState* qstate = queries_.find(item.query_id);
+    if (qstate == nullptr) continue;  // already finalized (shouldn't)
 
-    int forwarded_total = 0;
     struct PendingForward {
       int group;
       int count;
@@ -376,19 +369,10 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
       task_window_arrivals_[static_cast<std::size_t>(child)] +=
           static_cast<double>(child_counts[ci]);
       if (child_counts[ci] == 0) continue;
-      // This worker's routing table for the child task (null = stale plan).
-      const auto route_it = [&]() -> const std::vector<GroupRoute>* {
-        const int gi = worker_group_[static_cast<std::size_t>(w.id())];
-        if (gi < 0 ||
-            gi >= static_cast<int>(routing_.group_routes.size())) {
-          return nullptr;
-        }
-        auto it2 = routing_.group_routes[static_cast<std::size_t>(gi)].find(child);
-        if (it2 == routing_.group_routes[static_cast<std::size_t>(gi)].end()) {
-          return nullptr;
-        }
-        return &it2->second;
-      }();
+      // This worker's routing table for the child task (null = stale plan;
+      // dense index, no map search per item).
+      const auto* route_it = routing_.routes_for(
+          worker_group_[static_cast<std::size_t>(w.id())], child);
 
       for (int n = 0; n < child_counts[ci]; ++n) {
         int group = route_it ? pick_group(*route_it) : -1;
@@ -402,8 +386,8 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
             next.deadline = item.deadline;
             next.accuracy_so_far = item.accuracy_so_far;
             next.debt_s = item.debt_s;
-            ++forwarded_total;
-            qit->second.outstanding += 1;
+            metrics_.record_forwards(1);
+            qstate->outstanding += 1;
             const double delay = comm_delay();
             sim_->schedule_after(delay, [this, next, alt]() mutable {
               auto& aw = *workers_[static_cast<std::size_t>(alt)];
@@ -470,6 +454,7 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
       continue;
     }
     // Commit the forwards.
+    metrics_.record_forwards(forwards.size());
     for (const auto& f : forwards) {
       cluster::WorkItem next;
       next.query_id = item.query_id;
@@ -477,31 +462,29 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
       next.deadline = item.deadline;
       next.accuracy_so_far = item.accuracy_so_far;
       next.debt_s = item.debt_s;
-      qit->second.outstanding += 1;
-      ++forwarded_total;
+      qstate->outstanding += 1;
       forward_item(next, f.group);
     }
-    (void)forwarded_total;
     complete_part(item.query_id, now);
   }
 }
 
 void ServingSystem::drop_query_part(std::uint64_t query_id, double now) {
-  auto it = queries_.find(query_id);
-  if (it == queries_.end()) return;
-  it->second.dropped = true;
+  QueryState* qs = queries_.find(query_id);
+  if (qs == nullptr) return;
+  qs->dropped = true;
   complete_part(query_id, now);
 }
 
 void ServingSystem::complete_part(std::uint64_t query_id, double now) {
-  auto it = queries_.find(query_id);
-  if (it == queries_.end()) return;
-  QueryState& qs = it->second;
+  QueryState* qsp = queries_.find(query_id);
+  if (qsp == nullptr) return;
+  QueryState& qs = *qsp;
   if (--qs.outstanding > 0) return;
 
   const double latency = now - qs.arrival;
   if (!qs.metered) {
-    queries_.erase(it);
+    queries_.erase(query_id);
     return;
   }
   if (qs.dropped) {
@@ -516,7 +499,7 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
                                       : QueryOutcome::kOnTime,
                             acc, latency);
   }
-  queries_.erase(it);
+  queries_.erase(query_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -525,9 +508,12 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
 
 std::vector<double> ServingSystem::drain_task_arrivals(double now) {
   const double window = now - arrivals_window_start_;
-  std::vector<double> rates;
+  // Always num_tasks entries: a zero-width window (two plan requests at the
+  // same instant, e.g. a surge retrigger) yields zero rates, not an empty
+  // vector — PlanRequest::task_arrivals_qps must never change size between
+  // epochs (strategies index it by task).
+  std::vector<double> rates(task_window_arrivals_.size(), 0.0);
   if (window > 1e-9) {
-    rates.resize(task_window_arrivals_.size(), 0.0);
     for (std::size_t t = 0; t < rates.size(); ++t) {
       rates[t] = task_window_arrivals_[t] / window;
     }
@@ -723,12 +709,19 @@ void ServingSystem::kick_pending_swaps() {
     auto& w = *workers_[static_cast<std::size_t>(wid)];
     if (!w.active()) continue;  // deactivated meanwhile
     const auto* model = &graph_->task(ic.task).catalog.at(ic.variant);
-    const bool pays_swap = cfg_.model_swap_cost && w.variant() != ic.variant;
+    // A swap is any change of hosted (task, variant) — matching apply_plan
+    // pass 1 and Worker::assign. Comparing only the variant index let a
+    // worker move to a *different task* whose variant happened to share the
+    // index without paying the model-load cost.
+    const bool pays_swap =
+        cfg_.model_swap_cost &&
+        (w.task() != ic.task || w.variant() != ic.variant);
     auto items = w.assign(ic.task, ic.variant, model, ic.batch, pays_swap);
     group_workers_[static_cast<std::size_t>(gi)].push_back(wid);
     worker_group_[static_cast<std::size_t>(wid)] = gi;
     redistribute(std::move(items));
     if (pays_swap && model->load_time_s > 0.0) {
+      metrics_.record_model_swap();
       ++swaps_in_flight_;
       sim_->schedule_after(model->load_time_s + 1e-6, [this]() {
         --swaps_in_flight_;

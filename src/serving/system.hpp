@@ -18,10 +18,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/worker.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "pipeline/graph.hpp"
 #include "serving/allocation.hpp"
@@ -131,10 +131,10 @@ class ServingSystem {
     int sink_completions = 0;
   };
 
-  void on_batch_done(cluster::Worker& w, std::vector<cluster::WorkItem>&& items,
+  void on_batch_done(cluster::Worker& w, std::vector<cluster::WorkItem>& items,
                      const cluster::Worker::BatchContext& ctx);
   void on_dropped_items(cluster::Worker& w,
-                        std::vector<cluster::WorkItem>&& items);
+                        std::vector<cluster::WorkItem>& items);
   bool last_task_filter(const cluster::Worker& w,
                         const cluster::WorkItem& item) const;
 
@@ -188,8 +188,12 @@ class ServingSystem {
   std::deque<std::pair<int, int>> pending_swaps_;  // (worker id, group)
   int swaps_in_flight_ = 0;
 
-  std::unordered_map<std::uint64_t, QueryState> queries_;
-  std::uint64_t next_query_id_ = 1;
+  /// Per-query state in a generation-checked slab pool: the query id carried
+  /// by WorkItems *is* the pool handle, so the completion path resolves it
+  /// with an index + generation check instead of hashing, and finalized
+  /// queries recycle their slot in O(1). Stale ids (parts arriving after the
+  /// query finalized) resolve to nullptr, same as the old map-miss path.
+  HandlePool<QueryState> queries_;
 
   /// Observed per-task arrival rates since the last plan request, handed to
   /// the strategy inside PlanRequest::task_arrivals_qps (pipeline-agnostic

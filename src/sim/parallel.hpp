@@ -1,0 +1,80 @@
+// Opt-in parallel simulation mode: K independent Simulation shards advanced
+// in lockstep over conservative synchronization windows.
+//
+// Model: the caller partitions its workload into shards that do not interact
+// within a window (in this codebase: independent replica clusters serving
+// partitioned arrival streams — the paper's workloads are embarrassingly
+// parallel across replica groups once the allocator has fixed a plan).
+// run_until() advances every shard to the next window boundary on the shared
+// ThreadPool, applies cross-shard posts at the barrier, and repeats. A post
+// must target a time at or beyond the *next* barrier (conservative
+// lookahead), which is what makes the per-window execution race-free without
+// any locking inside the shards.
+//
+// Determinism: each shard is a full sequential Simulation, so per-shard runs
+// are bit-reproducible. Cross-shard posts go into per-source buffers (each
+// written only by the thread driving that shard) and are merged at the
+// barrier in (time, destination, source, issue-order) order — independent of
+// thread scheduling. Sequential mode (one shard) stays the bit-reproducible
+// reference; the differential suite (sim_parallel_test) checks K-shard runs
+// against it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "sim/simulation.hpp"
+
+namespace loki::sim {
+
+class ParallelSimulation {
+ public:
+  struct Config {
+    /// Number of event shards (>= 1). One shard degenerates to a plain
+    /// sequential Simulation behind the same interface.
+    std::size_t shards = 2;
+    /// Barrier spacing in simulated seconds. Cross-shard posts must target
+    /// times at or beyond the next barrier (conservative lookahead).
+    double window_s = 0.25;
+    /// Worker threads; 0 = min(shards, hardware concurrency).
+    std::size_t threads = 0;
+  };
+
+  explicit ParallelSimulation(Config cfg);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  Simulation& shard(std::size_t i) { return *shards_[i]; }
+  Time now() const { return now_; }
+
+  /// Advances all shards to t_end in lockstep windows.
+  void run_until(Time t_end);
+
+  /// Schedules `cb` on shard `dst` at time `t`, issued by shard `src`'s
+  /// callbacks while a window runs (also usable between windows with any
+  /// src). `t` must be at or beyond the current window's end barrier
+  /// (LOKI_CHECK enforced), so the destination shard cannot have run past
+  /// it. Applied at the next barrier in deterministic order.
+  void post(std::size_t src, std::size_t dst, Time t,
+            Simulation::Callback cb);
+
+ private:
+  void apply_posts();
+
+  struct Post {
+    std::size_t dst = 0;
+    Time t = 0.0;
+    Simulation::Callback cb;
+  };
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Simulation>> shards_;
+  std::vector<std::vector<Post>> posts_;  // indexed by source shard
+  ThreadPool pool_;
+  Time now_ = 0.0;
+  Time window_end_ = 0.0;
+};
+
+}  // namespace loki::sim

@@ -1,86 +1,66 @@
 #include "sim/simulation.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace loki::sim {
 
-Simulation::EventId Simulation::schedule_at(Time t, Callback cb) {
-  LOKI_CHECK_MSG(t >= now_, "cannot schedule in the past: t=" << t
-                                                              << " now=" << now_);
-  const std::uint64_t id = next_seq_++;
-  queue_.push(Entry{t, id, id});
-  callbacks_.emplace(id, std::move(cb));
-  return EventId{id};
-}
-
-Simulation::EventId Simulation::schedule_after(double dt, Callback cb) {
-  LOKI_CHECK(dt >= 0.0);
-  return schedule_at(now_ + dt, std::move(cb));
-}
-
 void Simulation::cancel(EventId id) {
-  if (!id.valid()) return;
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return;  // already fired
-  cancelled_.insert(id.value);
-  callbacks_.erase(it);
-  // Cancelled entries are normally purged lazily as they reach the heap
-  // top, but a workload that cancels far-future events (timeout timers
-  // rearmed on every request) would otherwise accumulate them without
-  // bound. Rebuild the heap once tombstones dominate.
-  if (cancelled_.size() > queue_.size() / 2 && cancelled_.size() > 64) {
-    compact();
-  }
+  Event* e = events_.find(id.value);
+  if (e == nullptr) return;  // already fired or cancelled
+  const auto pos = static_cast<std::size_t>(e->heap_pos);
+  heap_remove(pos);
+  events_.erase(id.value);
 }
 
-void Simulation::compact() {
-  std::vector<Entry> live;
-  live.reserve(queue_.size() - cancelled_.size());
-  while (!queue_.empty()) {
-    const Entry& e = queue_.top();
-    if (cancelled_.count(e.id) == 0) live.push_back(e);
-    queue_.pop();
+bool Simulation::fire_front() {
+  const std::uint32_t slot = heap_.front().slot;
+  {
+    Event& e = events_.at_slot(slot);
+    if (e.deferred_seq != 0) {
+      // Lazily rescheduled: the popped key is stale. Re-key the root with
+      // the deferred (t, seq) — pop order from here on is identical to an
+      // eager re-sift at reschedule() time — and fire nothing.
+      heap_.front().t = e.deferred_t;
+      heap_.front().seq = e.deferred_seq;
+      e.deferred_seq = 0;
+      sift_down(0);
+      return false;
+    }
   }
-  cancelled_.clear();
-  queue_ = QueueType(EntryCompare{}, std::move(live));
+  now_ = heap_.front().t;
+  ++processed_;
+  // Specialized root removal: the root never sifts up.
+  const std::size_t last = heap_.size() - 1;
+  if (last != 0) {
+    heap_.front() = heap_[last];
+    events_.at_slot(heap_.front().slot).heap_pos = 0;
+  }
+  heap_.pop_back();
+  if (last != 0) sift_down(0);
+  // Fire in place: the handle goes stale *before* the callback runs (so
+  // cancel()/reschedule() on the firing event are no-ops, exactly as if it
+  // had been erased), but the callback object is destroyed and its slot
+  // recycled only after it returns. Slab slots are pointer-stable, so
+  // events the callback schedules cannot move it.
+  events_.invalidate_slot(slot);
+  events_.at_slot(slot).cb();
+  events_.release_slot(slot);
+  return true;
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    auto cancelled_it = cancelled_.find(e.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    auto cb_it = callbacks_.find(e.id);
-    LOKI_CHECK(cb_it != callbacks_.end());
-    Callback cb = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
-    now_ = e.t;
-    ++processed_;
-    cb();
-    return true;
+  while (!heap_.empty()) {
+    if (fire_front()) return true;
   }
   return false;
 }
 
 void Simulation::run_until(Time t_end) {
   LOKI_CHECK(t_end >= now_);
-  while (!queue_.empty()) {
-    const Entry& e = queue_.top();
-    // Purge cancelled heads here rather than letting step() skip them:
-    // otherwise a cancelled entry with t <= t_end would make step() fire
-    // the *next* event unconditionally, even when it lies past t_end.
-    auto it = cancelled_.find(e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    if (e.t > t_end) break;
-    step();
+  while (!heap_.empty() && heap_.front().t <= t_end) {
+    fire_front();
   }
   now_ = t_end;
 }
@@ -88,6 +68,57 @@ void Simulation::run_until(Time t_end) {
 void Simulation::run_all() {
   while (step()) {
   }
+}
+
+// Both sifts bubble a hole instead of swapping: one entry copy and one
+// heap_pos slab store per level rather than three copies and two stores.
+
+std::size_t Simulation::sift_up(std::size_t i) {
+  const std::size_t start = i;
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    events_.at_slot(heap_[i].slot).heap_pos = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  if (i != start) {
+    heap_[i] = e;
+    events_.at_slot(e.slot).heap_pos = static_cast<std::int32_t>(i);
+  }
+  return i;
+}
+
+void Simulation::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const std::size_t start = i;
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    std::size_t c = l;
+    const std::size_t r = l + 1;
+    if (r < n && before(heap_[r], heap_[l])) c = r;
+    if (!before(heap_[c], e)) break;
+    heap_[i] = heap_[c];
+    events_.at_slot(heap_[i].slot).heap_pos = static_cast<std::int32_t>(i);
+    i = c;
+  }
+  if (i != start) {
+    heap_[i] = e;
+    events_.at_slot(e.slot).heap_pos = static_cast<std::int32_t>(i);
+  }
+}
+
+void Simulation::heap_remove(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    events_.at_slot(heap_[pos].slot).heap_pos = static_cast<std::int32_t>(pos);
+  }
+  heap_.pop_back();
+  if (pos != last) sift_down(sift_up(pos));
 }
 
 }  // namespace loki::sim

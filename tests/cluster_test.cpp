@@ -18,12 +18,12 @@ struct Harness {
   profile::VariantCatalog catalog = profile::car_classification_catalog();
 
   Harness() {
-    worker.set_batch_done([this](Worker&, std::vector<WorkItem>&& items,
+    worker.set_batch_done([this](Worker&, std::vector<WorkItem>& items,
                                  const Worker::BatchContext& ctx) {
       contexts.push_back(ctx);
-      batches.push_back(std::move(items));
+      batches.push_back(items);  // borrowed: copy what we keep
     });
-    worker.set_dropped_sink([this](Worker&, std::vector<WorkItem>&& items) {
+    worker.set_dropped_sink([this](Worker&, std::vector<WorkItem>& items) {
       for (auto& i : items) dropped.push_back(i);
     });
   }

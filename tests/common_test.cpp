@@ -10,7 +10,9 @@
 #include "common/csv.hpp"
 #include "common/ewma.hpp"
 #include "common/flags.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
+#include "common/small_function.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 
@@ -350,6 +352,174 @@ TEST(Check, ThrowsWithMessage) {
 
 TEST(Check, PassesQuietly) {
   EXPECT_NO_THROW(LOKI_CHECK(2 + 2 == 4));
+}
+
+// ---------------------------------------------------------------------------
+// SlabPool / HandlePool / RingBuffer (data-plane allocators)
+// ---------------------------------------------------------------------------
+
+TEST(SlabPool, RecyclesSlotsThroughFreeList) {
+  SlabPool<int> pool(4);
+  const auto a = pool.emplace(10);
+  const auto b = pool.emplace(20);
+  EXPECT_EQ(pool.at(a), 10);
+  EXPECT_EQ(pool.at(b), 20);
+  EXPECT_EQ(pool.size(), 2u);
+  pool.erase(a);
+  EXPECT_EQ(pool.size(), 1u);
+  // The freed slot is reused before any fresh slot is minted.
+  const auto c = pool.emplace(30);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(pool.at(c), 30);
+  EXPECT_EQ(pool.slots(), 2u);
+}
+
+TEST(SlabPool, PointersStayStableAcrossSlabGrowth) {
+  SlabPool<int> pool(/*slab_capacity=*/4);
+  std::vector<std::uint32_t> slots;
+  for (int i = 0; i < 100; ++i) slots.push_back(pool.emplace(i));
+  int* first = &pool.at(slots[0]);
+  for (int i = 100; i < 1000; ++i) slots.push_back(pool.emplace(i));
+  EXPECT_EQ(first, &pool.at(slots[0]));  // slabs never move
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(pool.at(slots[static_cast<std::size_t>(i)]), i);
+  }
+}
+
+TEST(SlabPool, DestroysLiveObjectsOnClear) {
+  static int live = 0;
+  struct Tracked {
+    Tracked() { ++live; }
+    ~Tracked() { --live; }
+  };
+  SlabPool<Tracked> pool(8);
+  const auto a = pool.emplace();
+  pool.emplace();
+  pool.emplace();
+  EXPECT_EQ(live, 3);
+  pool.erase(a);
+  EXPECT_EQ(live, 2);
+  pool.clear();
+  EXPECT_EQ(live, 0);
+}
+
+TEST(HandlePool, StaleHandlesResolveToNull) {
+  HandlePool<int> pool(8);
+  const auto h = pool.emplace(7);
+  ASSERT_NE(pool.find(h), nullptr);
+  EXPECT_EQ(*pool.find(h), 7);
+  pool.erase(h);
+  EXPECT_EQ(pool.find(h), nullptr);  // generation bumped
+  // The recycled slot gets a distinct handle; the old one stays dead.
+  const auto h2 = pool.emplace(8);
+  EXPECT_NE(h2, h);
+  EXPECT_EQ(pool.find(h), nullptr);
+  EXPECT_EQ(*pool.find(h2), 8);
+}
+
+TEST(HandlePool, InvalidAndZeroHandlesAreNull) {
+  HandlePool<int> pool(8);
+  EXPECT_EQ(pool.find(HandlePool<int>::kInvalid), nullptr);
+  EXPECT_EQ(pool.find(0xdeadbeefull << 32 | 1), nullptr);
+  const auto h = pool.emplace(1);
+  EXPECT_THROW(pool.get(h + (1ull << 32)), CheckFailure);  // wrong slot
+}
+
+TEST(HandlePool, ClearInvalidatesAllHandles) {
+  HandlePool<int> pool(8);
+  const auto a = pool.emplace(1);
+  const auto b = pool.emplace(2);
+  pool.clear();
+  EXPECT_EQ(pool.find(a), nullptr);
+  EXPECT_EQ(pool.find(b), nullptr);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(RingBuffer, FifoAcrossGrowth) {
+  RingBuffer<int> ring(2);
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(ring.front(), i);
+    ASSERT_EQ(ring[0], i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutReordering) {
+  RingBuffer<int> ring(4);
+  int next_in = 0, next_out = 0;
+  // Sustained push/pop traffic forces head to wrap the power-of-two mask.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) ring.push_back(next_in++);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(ring.front(), next_out++);
+      ring.pop_front();
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SmallFunction
+// ---------------------------------------------------------------------------
+
+TEST(SmallFunction, InvokesInlineCaptures) {
+  int hits = 0;
+  SmallFunction<void()> f = [&hits]() { ++hits; };
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+  SmallFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 40), 42);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFunction<void()> f = [&hits]() { ++hits; };
+  SmallFunction<void()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFunction, HoldsMoveOnlyCaptures) {
+  auto p = std::make_unique<int>(99);
+  SmallFunction<int()> f = [p = std::move(p)]() { return *p; };
+  EXPECT_EQ(f(), 99);
+}
+
+TEST(SmallFunction, HeapFallbackForOversizedCaptures) {
+  // Capture larger than the inline buffer: must still work (heap path).
+  struct Big {
+    double data[32] = {};
+  };
+  Big big;
+  big.data[0] = 1.5;
+  big.data[31] = 2.5;
+  SmallFunction<double()> f = [big]() { return big.data[0] + big.data[31]; };
+  EXPECT_DOUBLE_EQ(f(), 4.0);
+  SmallFunction<double()> g = std::move(f);
+  EXPECT_DOUBLE_EQ(g(), 4.0);
+}
+
+TEST(SmallFunction, DestroysCaptureExactlyOnce) {
+  static int live = 0;
+  struct Tracked {
+    Tracked() { ++live; }
+    Tracked(const Tracked&) { ++live; }
+    Tracked(Tracked&&) { ++live; }
+    ~Tracked() { --live; }
+  };
+  {
+    SmallFunction<void()> f = [t = Tracked{}]() { (void)t; };
+    SmallFunction<void()> g = std::move(f);
+    f = nullptr;
+    EXPECT_GE(live, 1);
+  }
+  EXPECT_EQ(live, 0);
 }
 
 }  // namespace

@@ -165,5 +165,61 @@ TEST(MostAccurateFirst, TreePipelineRoutesBothChildren) {
   EXPECT_NEAR(r.group_incoming_qps[2], 100.0 * 2.10 * (1.0 / 3.0), 1e-6);
 }
 
+// ---------------------------------------------------------------------------
+// pick_route (the LB's cumulative-probability draw, §5.1)
+// ---------------------------------------------------------------------------
+
+TEST(PickRoute, DrawsByCumulativeProbability) {
+  const std::vector<GroupRoute> routes = {{7, 0.3}, {9, 0.7}};
+  EXPECT_EQ(pick_route(routes, 0.1), 7);
+  EXPECT_EQ(pick_route(routes, 0.29), 7);
+  EXPECT_EQ(pick_route(routes, 0.31), 9);
+  EXPECT_EQ(pick_route(routes, 0.95), 9);
+}
+
+TEST(PickRoute, FloatingPointTailDoesNotShedExhaustiveTable) {
+  // Regression: a table whose probabilities cover all demand but sum to
+  // slightly under 1.0 in floating point (e.g. ten routes of ~0.1) used to
+  // shed a draw landing in the fp tail gap. An exhaustive table (sum within
+  // 1e-9 of 1) must fall back to the last route instead.
+  const std::vector<GroupRoute> routes(10, GroupRoute{4, 0.09999999999});
+  // sum = 1 - 1e-10; a draw inside the gap used to return -1 (spurious shed)
+  EXPECT_EQ(pick_route(routes, 1.0 - 5e-11), 4);
+}
+
+TEST(PickRoute, DeliberateShedFractionStillSheds) {
+  // Overload plans route only served_fraction of demand; draws beyond the
+  // table's total probability are real sheds, and the fp-tail fallback must
+  // not swallow them.
+  const std::vector<GroupRoute> routes = {{3, 0.5}};
+  EXPECT_EQ(pick_route(routes, 0.4), 3);
+  EXPECT_EQ(pick_route(routes, 0.8), -1);
+}
+
+TEST(PickRoute, EmptyTableDropsEveryDraw) {
+  EXPECT_EQ(pick_route({}, 0.0), -1);
+}
+
+// ---------------------------------------------------------------------------
+// RoutingPlan dense route index
+// ---------------------------------------------------------------------------
+
+TEST(RoutingPlan, RoutesForDistinguishesMissingFromEmpty) {
+  Fixture f;
+  auto p = f.plan({{0, 4, 8, 1}, {1, 10, 8, 1}});
+  const auto r = f.lb.most_accurate_first(p, 10.0, f.mult);
+  // Group 0 routes to its child task 1: present and non-empty.
+  const auto* routes = r.routes_for(0, 1);
+  ASSERT_NE(routes, nullptr);
+  EXPECT_FALSE(routes->empty());
+  // Matches the map the index was built from.
+  ASSERT_TRUE(r.group_routes[0].count(1));
+  EXPECT_EQ(routes->size(), r.group_routes[0].at(1).size());
+  // Out-of-range lookups mean "no table" (stale plan), not "drop".
+  EXPECT_EQ(r.routes_for(5, 1), nullptr);
+  EXPECT_EQ(r.routes_for(0, 99), nullptr);
+  EXPECT_EQ(r.routes_for(-1, 0), nullptr);
+}
+
 }  // namespace
 }  // namespace loki::serving

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "exp/experiment.hpp"
 #include "pipeline/pipelines.hpp"
 #include "profile/profiler.hpp"
@@ -371,6 +372,51 @@ TEST(NearWarmTier, DemandRampEngagesAndStaysWithinGap) {
   }
   // The tier actually engaged.
   EXPECT_GT(near_stats.near_warm_hits, 0);
+}
+
+// ---------------------------------------------------------------------------
+// PlanRequest::task_arrivals_qps shape contract
+// ---------------------------------------------------------------------------
+
+TEST(PlanRequestShape, AcceptsEmptyOrPerTaskArrivalVectors) {
+  // The contract: task_arrivals_qps is either empty (nothing observed yet)
+  // or has exactly num_tasks entries — a zero-width observation window
+  // produces a vector of zeros, never a shorter vector (regression: the
+  // runtime used to hand strategies an *empty* vector mid-run, changing the
+  // vector's size between epochs under strategies that index it by task).
+  Fixture f;
+  exp::register_builtin_strategies();
+  for (const char* name : {"greedy", "proteus", "inferline", "loki-milp"}) {
+    auto strategy = serving::StrategyRegistry::global().create(
+        name, f.cfg, &f.graph, f.profiles);
+    serving::PlanRequest req;
+    req.demand_qps = 50.0;
+    req.mult = f.mult;
+
+    req.task_arrivals_qps = {};  // first epoch: nothing observed
+    EXPECT_NO_THROW(strategy->plan(req)) << name;
+
+    req.task_arrivals_qps.assign(
+        static_cast<std::size_t>(f.graph.num_tasks()), 0.0);
+    EXPECT_NO_THROW(strategy->plan(req)) << name;  // zero-window zeros
+  }
+}
+
+TEST(PlanRequestShape, RejectsWrongSizedArrivalVector) {
+  Fixture f;
+  exp::register_builtin_strategies();
+  for (const char* name : {"greedy", "proteus", "inferline", "loki-milp"}) {
+    auto strategy = serving::StrategyRegistry::global().create(
+        name, f.cfg, &f.graph, f.profiles);
+    serving::PlanRequest req;
+    req.demand_qps = 50.0;
+    req.mult = f.mult;
+    // One short of num_tasks: a strategy indexing by task would read out of
+    // bounds, so the contract is enforced loudly at the API boundary.
+    req.task_arrivals_qps.assign(
+        static_cast<std::size_t>(f.graph.num_tasks()) - 1, 1.0);
+    EXPECT_THROW(strategy->plan(req), CheckFailure) << name;
+  }
 }
 
 }  // namespace

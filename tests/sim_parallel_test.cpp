@@ -1,0 +1,235 @@
+// Differential suite for the opt-in parallel simulation mode (tentpole 4):
+//
+//  1. ParallelSimulation primitives: lockstep windows, deterministic
+//     cross-shard post merging, conservative-lookahead enforcement.
+//  2. Experiment-level differential checks: a K-shard run against the
+//     sequential reference — the total arrival count must match *exactly*
+//     (round-robin partition of one arrival sequence), aggregate accounting
+//     must hold in both modes, and the sharded run must be deterministic.
+//  3. Sequential bit-identity goldens: the one-shard path is the
+//     bit-reproducible reference, pinned to full-precision metrics captured
+//     before the data-plane overhaul (pooled events / indexed heap /
+//     SmallFunction callbacks must not perturb a single event ordering).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "exp/experiment.hpp"
+#include "pipeline/pipelines.hpp"
+#include "sim/parallel.hpp"
+#include "tests/test_support.hpp"
+#include "trace/generator.hpp"
+
+namespace loki {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParallelSimulation primitives
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSim, SingleShardRunsLikeSequential) {
+  sim::ParallelSimulation::Config cfg;
+  cfg.shards = 1;
+  cfg.window_s = 0.1;
+  sim::ParallelSimulation psim(cfg);
+  std::vector<int> order;
+  psim.shard(0).schedule_at(0.35, [&]() { order.push_back(2); });
+  psim.shard(0).schedule_at(0.05, [&]() { order.push_back(1); });
+  psim.run_until(1.0);
+  EXPECT_DOUBLE_EQ(psim.now(), 1.0);
+  EXPECT_DOUBLE_EQ(psim.shard(0).now(), 1.0);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(ParallelSim, CrossShardPostsArriveAtTargetTime) {
+  sim::ParallelSimulation::Config cfg;
+  cfg.shards = 2;
+  cfg.window_s = 0.25;
+  sim::ParallelSimulation psim(cfg);
+  double fired_at = -1.0;
+  // From shard 0's first window, post into shard 1 beyond the barrier.
+  psim.shard(0).schedule_at(0.1, [&]() {
+    psim.post(0, 1, 0.6, [&]() { fired_at = psim.shard(1).now(); });
+  });
+  psim.run_until(1.0);
+  EXPECT_DOUBLE_EQ(fired_at, 0.6);
+}
+
+TEST(ParallelSim, PostMergeOrderIsDeterministic) {
+  // Posts issued from different source shards at equal target times must
+  // apply in (t, dst, src, issue-order) order regardless of which shard's
+  // window happened to run first. Two runs must agree exactly.
+  auto run_once = [](std::vector<int>& order) {
+    sim::ParallelSimulation::Config cfg;
+    cfg.shards = 2;
+    cfg.window_s = 0.25;
+    sim::ParallelSimulation psim(cfg);
+    for (std::size_t src = 0; src < 2; ++src) {
+      psim.shard(src).schedule_at(0.1, [&psim, &order, src]() {
+        // Same destination, same time: merge key falls through to (src,
+        // issue-order).
+        psim.post(src, 0, 0.5,
+                  [&order, src]() { order.push_back(static_cast<int>(src)); });
+        psim.post(src, 0, 0.5, [&order, src]() {
+          order.push_back(10 + static_cast<int>(src));
+        });
+      });
+    }
+    psim.run_until(1.0);
+  };
+  std::vector<int> a, b;
+  run_once(a);
+  run_once(b);
+  const std::vector<int> want = {0, 10, 1, 11};
+  EXPECT_EQ(a, want);
+  EXPECT_EQ(b, want);
+}
+
+TEST(ParallelSim, PostBeforeBarrierIsRejected) {
+  // Conservative lookahead: a post targeting a time inside the current
+  // window could land in a shard's past. Must fail loudly, not corrupt.
+  sim::ParallelSimulation::Config cfg;
+  cfg.shards = 1;  // single shard runs inline, so the throw propagates
+  cfg.window_s = 0.25;
+  sim::ParallelSimulation psim(cfg);
+  bool threw = false;
+  psim.shard(0).schedule_at(0.05, [&]() {
+    try {
+      psim.post(0, 0, 0.1, []() {});  // 0.1 < window barrier 0.25
+    } catch (const CheckFailure&) {
+      threw = true;
+    }
+  });
+  psim.run_until(0.5);
+  EXPECT_TRUE(threw);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-level differential checks (sequential vs. sharded)
+// ---------------------------------------------------------------------------
+
+trace::DemandCurve diff_curve() {
+  trace::TraceConfig cfg;
+  cfg.shape = trace::TraceShape::kAzureDiurnal;
+  cfg.duration_s = 60.0;
+  cfg.peak_qps = 120.0;
+  cfg.seed = test::test_seed("sim_parallel_curve");
+  return trace::generate_trace(cfg);
+}
+
+exp::ExperimentConfig diff_config(std::size_t shards) {
+  exp::ExperimentConfig cfg;
+  cfg.system = "greedy";  // fast allocator: keeps the differential runs cheap
+  cfg.system_cfg.allocator.cluster_size = 8;
+  cfg.system_cfg.allocator.slo_s = 0.250;
+  cfg.arrivals.seed = test::test_seed("sim_parallel_arrivals");
+  cfg.sim_shards = shards;
+  return cfg;
+}
+
+TEST(ParallelExperiment, ShardedRunPreservesArrivalTotalExactly) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto seq = exp::run_experiment(graph, curve, diff_config(1));
+  const auto par = exp::run_experiment(graph, curve, diff_config(2));
+
+  // The sharded run round-robins the *same* arrival sequence, so the total
+  // is exact, not approximate.
+  EXPECT_EQ(par.arrivals, seq.arrivals);
+
+  // Both modes satisfy the accounting invariants.
+  for (const auto* r : {&seq, &par}) {
+    EXPECT_GT(r->arrivals, 0u);
+    EXPECT_LE(r->drops, r->arrivals);
+    EXPECT_LE(r->metrics.shed(), r->drops);
+    EXPECT_EQ(r->metrics.completions() + r->drops, r->arrivals);
+    EXPECT_GT(r->mean_latency_s, 0.0);
+    EXPECT_GE(r->p99_latency_s, r->mean_latency_s);
+    EXPECT_GT(r->allocations, 0);
+  }
+
+  // Metric equivalence: the workload is well inside capacity in both modes
+  // (8 workers sequentially, 4+4 sharded), so both must essentially meet
+  // the SLO; server usage must be in the same ballpark.
+  EXPECT_LE(seq.slo_violation_ratio, 0.05);
+  EXPECT_LE(par.slo_violation_ratio, 0.05);
+  EXPECT_GT(par.mean_servers_used, 0.5 * seq.mean_servers_used);
+  EXPECT_LT(par.mean_servers_used, 2.0 * seq.mean_servers_used + 1.0);
+}
+
+TEST(ParallelExperiment, ShardedRunIsDeterministic) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto a = exp::run_experiment(graph, curve, diff_config(2));
+  const auto b = exp::run_experiment(graph, curve, diff_config(2));
+
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_DOUBLE_EQ(a.slo_violation_ratio, b.slo_violation_ratio);
+  EXPECT_DOUBLE_EQ(a.mean_accuracy, b.mean_accuracy);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_DOUBLE_EQ(a.mean_servers_used, b.mean_servers_used);
+  EXPECT_EQ(a.allocations, b.allocations);
+}
+
+TEST(ParallelExperiment, ShardCountIsClampedToClusterSize) {
+  // More shards than the cluster can feed degenerates gracefully: every
+  // shard needs at least one worker per task, so a 3-worker cluster on a
+  // 2-task pipeline falls back to the sequential path.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+  auto cfg = diff_config(64);
+  cfg.system_cfg.allocator.cluster_size = 3;
+  const auto r = exp::run_experiment(graph, curve, cfg);
+  EXPECT_GT(r.arrivals, 0u);
+  EXPECT_EQ(r.metrics.completions() + r.drops, r.arrivals);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential bit-identity goldens
+// ---------------------------------------------------------------------------
+
+TEST(SequentialGoldens, SmokeWorkloadMetricsAreBitIdentical) {
+  // Full-precision goldens for the e2e smoke workload, captured from the
+  // pre-overhaul data plane (std::function callbacks, tombstone heap,
+  // unordered_map query states). The rebuilt hot path must replay the exact
+  // same event sequence. Requires LOKI_MILP_NO_TIME_LIMIT=1 (ctest sets it)
+  // so the MILP search is host-speed independent.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  trace::TraceConfig tcfg;
+  tcfg.shape = trace::TraceShape::kAzureDiurnal;
+  tcfg.duration_s = 60.0;
+  tcfg.peak_qps = 120.0;
+  tcfg.seed = test::test_seed("e2e_smoke_curve");
+  const auto curve = trace::generate_trace(tcfg);
+
+  exp::ExperimentConfig cfg;
+  cfg.system = "loki-milp";
+  cfg.system_cfg.allocator.cluster_size = 8;
+  cfg.system_cfg.allocator.slo_s = 0.250;
+  cfg.arrivals.seed = test::test_seed("e2e_smoke_arrivals");
+
+  const auto r = exp::run_experiment(graph, curve, cfg);
+
+  EXPECT_EQ(r.arrivals, 3070u);
+  EXPECT_EQ(r.drops, 84u);
+  EXPECT_EQ(r.metrics.completions(), 2986u);
+  EXPECT_EQ(r.metrics.shed(), 18u);
+  EXPECT_EQ(r.metrics.late(), 0u);
+  EXPECT_EQ(r.metrics.violations(), 84u);
+  EXPECT_EQ(r.allocations, 18);
+  EXPECT_DOUBLE_EQ(r.slo_violation_ratio, 0.02736156351791531);
+  EXPECT_DOUBLE_EQ(r.mean_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_latency_s, 0.098174636698791506);
+  EXPECT_DOUBLE_EQ(r.p99_latency_s, 0.23212521921268792);
+  EXPECT_DOUBLE_EQ(r.mean_servers_used, 3.9692307692307702);
+}
+
+}  // namespace
+}  // namespace loki

@@ -169,6 +169,64 @@ TEST(Simulation, MassCancellationDoesNotAccumulateTombstones) {
   EXPECT_EQ(sim.processed(), 1u);
 }
 
+TEST(Simulation, RescheduleMovesEventWithoutCallbackChurn) {
+  Simulation sim;
+  std::vector<double> fired;
+  const auto id = sim.schedule_at(1.0, [&]() { fired.push_back(sim.now()); });
+  EXPECT_TRUE(sim.reschedule(id, 5.0));  // push the timer out
+  sim.schedule_at(2.0, [&]() { fired.push_back(sim.now()); });
+  sim.run_all();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 2.0);
+  EXPECT_DOUBLE_EQ(fired[1], 5.0);  // fired at the new time, once
+}
+
+TEST(Simulation, RescheduleTiesAfterEventsAlreadyAtTargetTime) {
+  // A rescheduled event is ordered as if freshly scheduled: it gets a new
+  // sequence number, so it ties *after* events already sitting at `t`.
+  Simulation sim;
+  std::vector<int> order;
+  const auto id = sim.schedule_at(1.0, [&]() { order.push_back(0); });
+  sim.schedule_at(3.0, [&]() { order.push_back(1); });
+  sim.reschedule(id, 3.0);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Simulation, RescheduleAfterFireOrCancelReturnsFalse) {
+  Simulation sim;
+  int fired = 0;
+  const auto a = sim.schedule_at(1.0, [&]() { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.reschedule(a, 2.0));  // already fired
+  sim.run_all();
+  EXPECT_EQ(fired, 1);  // nothing re-armed
+
+  const auto b = sim.schedule_at(3.0, [&]() { ++fired; });
+  sim.cancel(b);
+  EXPECT_FALSE(sim.reschedule(b, 4.0));  // already cancelled
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, RearmedTimerWorkloadStaysExact) {
+  // The pattern reschedule() exists for: a timeout pushed out on every
+  // "request" so it only fires when requests stop coming.
+  Simulation sim;
+  int timeouts = 0;
+  const auto timer = sim.schedule_at(0.5, [&]() { ++timeouts; });
+  for (int i = 1; i <= 100; ++i) {
+    const double t = 0.01 * i;
+    sim.schedule_at(t, [&sim, timer, t]() {
+      EXPECT_TRUE(sim.reschedule(timer, t + 0.5));
+    });
+  }
+  sim.run_all();
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_NEAR(sim.now(), 1.5, 1e-9);  // last re-arm at t=1.0 fires at 1.5
+}
+
 TEST(Simulation, HeavySelfSchedulingIsStable) {
   // A self-rescheduling periodic event plus churn: counts must be exact.
   Simulation sim;

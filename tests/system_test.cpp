@@ -238,5 +238,98 @@ TEST(ServingSystem, SolveTimeTracked) {
   EXPECT_GT(system.total_solve_time_s(), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Model-swap accounting across plan changes
+// ---------------------------------------------------------------------------
+
+/// Returns a fixed sequence of plans (the last one repeats), recording the
+/// shape of every request it receives.
+class ScriptedStrategy : public AllocationStrategy {
+ public:
+  explicit ScriptedStrategy(std::vector<AllocationPlan> plans)
+      : plans_(std::move(plans)) {}
+
+  PlanResult plan(const PlanRequest& request) override {
+    arrival_vector_sizes.push_back(request.task_arrivals_qps.size());
+    PlanResult r;
+    r.plan = plans_[std::min(next_++, plans_.size() - 1)];
+    r.epoch = request.epoch;
+    return r;
+  }
+  std::string name() const override { return "scripted"; }
+
+  std::vector<std::size_t> arrival_vector_sizes;
+
+ private:
+  std::vector<AllocationPlan> plans_;
+  std::size_t next_ = 0;
+};
+
+TEST(ModelSwap, CrossTaskReassignWithSameVariantIndexPaysSwap) {
+  // Regression: the rolling-update path (kick_pending_swaps) used to decide
+  // "pays swap" by comparing only the variant *index*, so a worker moving
+  // from (task 0, variant 0) to (task 1, variant 0) — a different model
+  // that absolutely needs loading — swapped for free and was never counted.
+  auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  auto profiles = build_profile_table(graph, profile::ModelProfiler());
+  auto mk = [](std::vector<InstanceConfig> instances) {
+    AllocationPlan p;
+    p.instances = std::move(instances);
+    for (const auto& ic : p.instances) p.servers_used += ic.replicas;
+    p.feasible = true;
+    return p;
+  };
+  // Epoch 0: two workers on (task 0, variant 0), one on (task 1, variant 0).
+  // Epoch 1: task 1 needs a second replica — one task-0 worker must
+  // repurpose to (task 1, variant 0): same variant index, different task.
+  ScriptedStrategy strategy({mk({{0, 0, 8, 2}, {1, 0, 8, 1}}),
+                             mk({{0, 0, 8, 1}, {1, 0, 8, 2}})});
+  SystemConfig cfg;
+  cfg.allocator.cluster_size = 3;
+  cfg.allocator.slo_s = 0.250;
+  cfg.realloc_threshold = 0.0;  // re-plan on every RM period
+  sim::Simulation sim;
+  ServingSystem system(&sim, &graph, profiles, &strategy, cfg);
+  system.start();
+  sim.run_until(15.0);  // second RM run at t=10 applies the scripted move
+  system.finish(15.0);
+
+  EXPECT_EQ(system.metrics().model_swaps(), 1u);
+
+  // Shape contract (S3): every request carried either no observations or
+  // exactly one rate per task — never a truncated vector.
+  ASSERT_GE(strategy.arrival_vector_sizes.size(), 2u);
+  for (std::size_t n : strategy.arrival_vector_sizes) {
+    EXPECT_TRUE(n == 0 ||
+                n == static_cast<std::size_t>(graph.num_tasks()));
+  }
+}
+
+TEST(ModelSwap, SameModelReassignIsFree) {
+  // Control for the regression above: a batch-size-only change on the same
+  // (task, variant) must not pay load time or count as a swap.
+  auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  auto profiles = build_profile_table(graph, profile::ModelProfiler());
+  auto mk = [](std::vector<InstanceConfig> instances) {
+    AllocationPlan p;
+    p.instances = std::move(instances);
+    for (const auto& ic : p.instances) p.servers_used += ic.replicas;
+    p.feasible = true;
+    return p;
+  };
+  ScriptedStrategy strategy({mk({{0, 0, 8, 2}, {1, 0, 8, 1}}),
+                             mk({{0, 0, 4, 2}, {1, 0, 4, 1}})});
+  SystemConfig cfg;
+  cfg.allocator.cluster_size = 3;
+  cfg.allocator.slo_s = 0.250;
+  cfg.realloc_threshold = 0.0;
+  sim::Simulation sim;
+  ServingSystem system(&sim, &graph, profiles, &strategy, cfg);
+  system.start();
+  sim.run_until(15.0);
+  system.finish(15.0);
+  EXPECT_EQ(system.metrics().model_swaps(), 0u);
+}
+
 }  // namespace
 }  // namespace loki::serving
