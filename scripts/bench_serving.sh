@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
-# Data-plane throughput runner: builds bm_dataplane in Release, runs the
-# BM_DataPlane* suite (event-core arrival ingest, serving forward fan-out,
-# full e2e epoch) with repetitions, writes BENCH_dataplane.json (raw
-# google-benchmark format), and gates the result against
-# bench/BENCH_dataplane_baseline.json via check_bench_regression.py
-# --suite dataplane.
+# Serving hot-path runner: builds bm_dataplane in Release, runs the
+# BM_Serving* suite (routing-draw micros, forward-hop, 96-worker e2e epoch
+# with per-stage counters, stage-counter snapshot cost), writes
+# BENCH_serving.json (raw google-benchmark format), and gates the result
+# against bench/BENCH_serving_baseline.json via check_bench_regression.py
+# --suite serving.
 #
 # Wall-clock throughput is load-sensitive: on shared hosts real time can run
-# several times CPU time, which is why the dataplane gate ships with a wide
-# default slack (-35%). Rebaseline when moving hardware.
+# several times CPU time, which is why this gate ships with the same wide
+# default slack (-35%) as the dataplane gate. Rebaseline when moving
+# hardware.
 #
-# Usage: scripts/bench_dataplane.sh [--quick] [--rebaseline] [output.json]
+# Usage: scripts/bench_serving.sh [--quick] [--rebaseline] [output.json]
 #   --quick       one repetition, short min-time (CI smoke; noisy numbers)
 #   --rebaseline  copy the fresh report over the committed baseline instead
 #                 of gating against it
@@ -20,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 quick=0
 rebaseline=0
-out_json="BENCH_dataplane.json"
+out_json="BENCH_serving.json"
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
@@ -41,9 +42,7 @@ then
   exit 3
 fi
 
-# The binary also hosts the BM_Serving* suite (scripts/bench_serving.sh);
-# filter to this suite's prefix so the two runs stay disjoint.
-bench_args=(--benchmark_filter='^BM_DataPlane'
+bench_args=(--benchmark_filter='^BM_Serving'
             --benchmark_out="$out_json" --benchmark_out_format=json)
 if [[ "$quick" == 1 ]]; then
   # google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
@@ -62,10 +61,10 @@ fi
 "$build_dir/bm_dataplane" "${bench_args[@]}"
 
 if [[ "$rebaseline" == 1 ]]; then
-  cp "$out_json" bench/BENCH_dataplane_baseline.json
-  echo "rebaselined bench/BENCH_dataplane_baseline.json from $out_json"
+  cp "$out_json" bench/BENCH_serving_baseline.json
+  echo "rebaselined bench/BENCH_serving_baseline.json from $out_json"
 elif [[ "$quick" == 1 ]]; then
   echo "(--quick run: skipping the regression gate; numbers too noisy)"
 else
-  python3 scripts/check_bench_regression.py "$out_json" --suite dataplane
+  python3 scripts/check_bench_regression.py "$out_json" --suite serving
 fi

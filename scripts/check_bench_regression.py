@@ -20,7 +20,12 @@ Two suites:
       the baseline should be regenerated (scripts/bench_dataplane.sh) when
       moving to different hardware.
 
-Usage: check_bench_regression.py CANDIDATE.json [--suite solver|dataplane]
+  serving           - same throughput gate over the BM_Serving* suite
+      (routing draws, forward hops, the 96-worker e2e epoch) against
+      bench/BENCH_serving_baseline.json. Run via scripts/bench_serving.sh.
+
+Usage: check_bench_regression.py CANDIDATE.json
+                                 [--suite solver|dataplane|serving]
                                  [--baseline PATH] [--max-regress FRACTION]
 Exit codes: 0 ok, 1 regression, 2 usage/malformed input.
 """
@@ -31,6 +36,7 @@ import sys
 
 COLD_BENCH_PREFIX = "BM_ResourceManagerMilp/"
 DATAPLANE_PREFIX = "BM_DataPlane"
+SERVING_PREFIX = "BM_Serving"
 
 
 def cold_pivot_total(report_path):
@@ -51,8 +57,8 @@ def cold_pivot_total(report_path):
     return total, cases
 
 
-def dataplane_throughputs(report_path):
-    """name -> items_per_second for each BM_DataPlane* benchmark.
+def suite_throughputs(report_path, prefix):
+    """name -> items_per_second for each benchmark matching `prefix`.
 
     Prefers the *_mean aggregate when the report was generated with
     repetitions; falls back to the plain entry otherwise. The aggregate
@@ -65,7 +71,7 @@ def dataplane_throughputs(report_path):
     means = {}
     for bench in report.get("benchmarks", []):
         name = bench.get("name", "")
-        if not name.startswith(DATAPLANE_PREFIX):
+        if not name.startswith(prefix):
             continue
         if "items_per_second" not in bench:
             continue  # aggregate rows like *_cv carry relative values
@@ -77,7 +83,7 @@ def dataplane_throughputs(report_path):
     merged.update(means)  # aggregates win over per-repetition rows
     if not merged:
         raise ValueError(
-            f"no {DATAPLANE_PREFIX}* benchmarks with items_per_second "
+            f"no {prefix}* benchmarks with items_per_second "
             f"in {report_path}")
     return merged
 
@@ -99,9 +105,9 @@ def run_solver_gate(args):
     return 0
 
 
-def run_dataplane_gate(args):
-    base = dataplane_throughputs(args.baseline)
-    cand = dataplane_throughputs(args.candidate)
+def run_throughput_gate(args, prefix, rebaseline_hint):
+    base = suite_throughputs(args.baseline, prefix)
+    cand = suite_throughputs(args.candidate, prefix)
     failed = []
     for name in sorted(base):
         if name not in cand:
@@ -117,10 +123,9 @@ def run_dataplane_gate(args):
         if not ok:
             failed.append(name)
     if failed:
-        print("Data-plane throughput regressed. If the drop is intended or "
-              "the host changed, regenerate the baseline with "
-              "scripts/bench_dataplane.sh --rebaseline and commit "
-              "bench/BENCH_dataplane_baseline.json.", file=sys.stderr)
+        print(f"Throughput regressed. If the drop is intended or the host "
+              f"changed, regenerate the baseline with {rebaseline_hint} "
+              f"and commit it.", file=sys.stderr)
         return 1
     return 0
 
@@ -130,25 +135,31 @@ def main():
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("candidate", help="freshly generated benchmark JSON")
-    ap.add_argument("--suite", choices=("solver", "dataplane"),
+    ap.add_argument("--suite", choices=("solver", "dataplane", "serving"),
                     default="solver")
     ap.add_argument("--baseline", default=None,
                     help="baseline JSON (default depends on --suite)")
     ap.add_argument("--max-regress", type=float, default=None,
                     help="allowed fractional regression over baseline "
-                         "(default: solver 0.20, dataplane 0.35)")
+                         "(default: solver 0.20, dataplane/serving 0.35)")
     args = ap.parse_args()
     if args.baseline is None:
-        args.baseline = ("bench/BENCH_solver_baseline.json"
-                         if args.suite == "solver"
-                         else "bench/BENCH_dataplane_baseline.json")
+        args.baseline = {
+            "solver": "bench/BENCH_solver_baseline.json",
+            "dataplane": "bench/BENCH_dataplane_baseline.json",
+            "serving": "bench/BENCH_serving_baseline.json",
+        }[args.suite]
     if args.max_regress is None:
         args.max_regress = 0.20 if args.suite == "solver" else 0.35
 
     try:
         if args.suite == "solver":
             return run_solver_gate(args)
-        return run_dataplane_gate(args)
+        if args.suite == "serving":
+            return run_throughput_gate(
+                args, SERVING_PREFIX, "scripts/bench_serving.sh --rebaseline")
+        return run_throughput_gate(
+            args, DATAPLANE_PREFIX, "scripts/bench_dataplane.sh --rebaseline")
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
         print(f"check_bench_regression: {e}", file=sys.stderr)
         return 2

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "common/check.hpp"
-
 namespace loki::cluster {
 
 Worker::Worker(int id, sim::Simulation* sim) : id_(id), sim_(sim) {
@@ -27,7 +25,7 @@ std::vector<WorkItem> Worker::flush_queue() {
   std::vector<WorkItem> flushed;
   flushed.reserve(queue_.size());
   for (std::size_t i = 0; i < queue_.size(); ++i) {
-    flushed.push_back(queue_[i]);
+    flushed.push_back(std::move(queue_[i]));
   }
   queue_.clear();
   return flushed;
@@ -64,14 +62,18 @@ std::vector<WorkItem> Worker::assign(int task, int variant,
   max_batch_ = max_batch;
   if (swap_cost && model_->load_time_s > 0.0) {
     loading_ = true;
+    ++stage_.swaps;
+    stage_.swap_stall_s += model_->load_time_s;
     load_event_ = sim_->schedule_after(model_->load_time_s, [this]() {
       loading_ = false;
       load_event_ = {};
+      publish_load();
       maybe_start_batch();
     });
   } else {
     loading_ = false;
   }
+  publish_load();
   return flushed;
 }
 
@@ -89,13 +91,8 @@ std::vector<WorkItem> Worker::deactivate() {
   variant_ = -1;
   model_ = nullptr;
   loading_ = false;
+  publish_load();
   return flushed;
-}
-
-void Worker::enqueue(WorkItem item) {
-  LOKI_CHECK_MSG(active(), "enqueue on deactivated worker " << id_);
-  queue_.push_back(item);
-  maybe_start_batch();
 }
 
 void Worker::maybe_start_batch() {
@@ -123,12 +120,14 @@ void Worker::maybe_start_batch() {
 void Worker::start_batch() {
   // Form a batch of up to max_batch_ items, applying the batching-time drop
   // filter (last-task early dropping). Vectors come from the recycle pool.
+  const double now = sim_->now();
   std::vector<WorkItem> batch = take_scratch();
   std::vector<WorkItem> dropped = take_scratch();
   while (!queue_.empty() &&
          batch.size() < static_cast<std::size_t>(max_batch_)) {
     WorkItem item = queue_.front();
     queue_.pop_front();
+    stage_.queue_wait_s += now - item.enqueue_time;
     if (drop_filter_ && drop_filter_(*this, item)) {
       dropped.push_back(item);
     } else {
@@ -141,6 +140,7 @@ void Worker::start_batch() {
   recycle_scratch(std::move(dropped));
   if (batch.empty()) {
     recycle_scratch(std::move(batch));
+    publish_load();
     // Everything was dropped; re-check the queue.
     if (!queue_.empty()) start_batch();
     return;
@@ -150,9 +150,10 @@ void Worker::start_batch() {
   if (jitter_) exec = std::max(1e-6, jitter_(exec));
   busy_ = true;
   inflight_ = batch.size();
-  busy_time_s_ += exec;
-  ++batches_;
-  items_ += batch.size();
+  stage_.execute_s += exec;
+  ++stage_.batches;
+  stage_.batch_items += batch.size();
+  publish_load();
 
   // Snapshot the configuration executing this batch: a mid-batch
   // reassignment must not change how the completed work is attributed.
@@ -160,6 +161,7 @@ void Worker::start_batch() {
   sim_->schedule_after(exec, [this, ctx, batch = std::move(batch)]() mutable {
     busy_ = false;
     inflight_ = 0;
+    publish_load();
     if (on_batch_done_) on_batch_done_(*this, batch, ctx);
     recycle_scratch(std::move(batch));
     maybe_start_batch();

@@ -8,18 +8,27 @@
 // the same worker serves Loki and both baselines.
 //
 // Hot-path allocation discipline: the queue is a RingBuffer (contiguous,
-// power-of-two ring — no per-chunk deque allocations), and batch vectors are
-// recycled through a small free list, so steady-state batching performs no
-// heap allocation. Batch/drop callbacks therefore receive a *borrowed*
-// vector (`std::vector<WorkItem>&`): consume or move out the items, but do
-// not keep a reference to the vector itself past the call.
+// power-of-two ring — no per-chunk deque allocations), batch vectors are
+// recycled through a small free list, and the runtime callbacks are
+// SmallFunctions (inline capture storage — installing them never allocates,
+// and invoking them is one indirect call), so steady-state batching performs
+// no heap allocation. Batch/drop callbacks receive a *borrowed* vector
+// (`std::vector<WorkItem>&`): consume or move out the items, but do not keep
+// a reference to the vector itself past the call.
+//
+// Load publication: instead of the scheduler dereferencing every Worker to
+// ask load()/active()/loading() per routed item, a worker can be bound to an
+// external 32-bit load cell (bind_load_cell) that it keeps current on every
+// state change. The serving runtime owns one contiguous cell array for the
+// whole cluster, so replica selection is a scan over packed integers.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/pool.hpp"
+#include "common/small_function.hpp"
 #include "profile/variant.hpp"
 #include "sim/simulation.hpp"
 
@@ -38,6 +47,38 @@ struct WorkItem {
   double debt_s = 0.0;
 };
 
+/// Per-stage hot-path counters (queue -> batch -> execute -> swap), the seed
+/// of ROADMAP item 5's observability layer. Updates are plain adds on state
+/// the batching path already touches (self-measured overhead is reported by
+/// BM_ServingStageCounterOverhead); aggregation over a cluster is the
+/// serving runtime's job.
+struct StageCounters {
+  /// Queue stage: items that entered a worker queue, and their summed
+  /// simulated wait between enqueue and batch formation.
+  std::uint64_t enqueued = 0;
+  double queue_wait_s = 0.0;
+  /// Batch stage: batches formed and items executed across them (the ratio
+  /// is the realized mean batch size).
+  std::uint64_t batches = 0;
+  std::uint64_t batch_items = 0;
+  /// Execute stage: simulated busy execution time.
+  double execute_s = 0.0;
+  /// Swap stage: model swaps paid and their summed load-time stalls.
+  std::uint64_t swaps = 0;
+  double swap_stall_s = 0.0;
+
+  StageCounters& operator+=(const StageCounters& o) {
+    enqueued += o.enqueued;
+    queue_wait_s += o.queue_wait_s;
+    batches += o.batches;
+    batch_items += o.batch_items;
+    execute_s += o.execute_s;
+    swaps += o.swaps;
+    swap_stall_s += o.swap_stall_s;
+    return *this;
+  }
+};
+
 class Worker {
  public:
   /// Configuration snapshot taken when a batch starts. Completion callbacks
@@ -53,23 +94,28 @@ class Worker {
 
   /// Called when a batch finishes executing. The item vector is borrowed
   /// (recycled by the worker after the call returns).
-  using BatchDoneFn =
-      std::function<void(Worker&, std::vector<WorkItem>&, const BatchContext&)>;
+  using BatchDoneFn = SmallFunction<void(Worker&, std::vector<WorkItem>&,
+                                         const BatchContext&)>;
   /// Batching-time filter: return true to drop the item *before* execution
   /// (last-task early dropping, §5.2). Dropped items are reported through
   /// this callback's side effects, not executed.
-  using DropFilterFn = std::function<bool(const Worker&, const WorkItem&)>;
+  using DropFilterFn = SmallFunction<bool(const Worker&, const WorkItem&)>;
   /// Execution-time jitter hook: maps nominal batch latency to actual
   /// (identity by default; the simulator-validation bench injects noise).
-  using JitterFn = std::function<double(double)>;
+  using JitterFn = SmallFunction<double(double)>;
+  /// Items dropped by the batching-time filter (deadline already lost).
+  /// Borrowed vector, same discipline as BatchDoneFn.
+  using DroppedFn = SmallFunction<void(Worker&, std::vector<WorkItem>&)>;
+
+  /// External load cell encoding: kLoadCellInactive when no instance is
+  /// hosted; otherwise queue+inflight load, with kLoadCellLoadingBit set
+  /// while a model swap is in progress.
+  static constexpr std::uint32_t kLoadCellInactive = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kLoadCellLoadingBit = 0x80000000u;
 
   Worker(int id, sim::Simulation* sim);
 
   /// Installs runtime callbacks. Must be set before any enqueue.
-  /// Items dropped by the batching-time filter (deadline already lost).
-  /// Borrowed vector, same discipline as BatchDoneFn.
-  using DroppedFn = std::function<void(Worker&, std::vector<WorkItem>&)>;
-
   void set_batch_done(BatchDoneFn fn) { on_batch_done_ = std::move(fn); }
   void set_drop_filter(DropFilterFn fn) { drop_filter_ = std::move(fn); }
   void set_dropped_sink(DroppedFn fn) { on_dropped_ = std::move(fn); }
@@ -82,6 +128,13 @@ class Worker {
   void set_batch_wait(double seconds) { batch_wait_s_ = seconds; }
   double batch_wait_s() const { return batch_wait_s_; }
 
+  /// Binds the external load cell this worker publishes its state into (the
+  /// cell must outlive the worker or be re-bound). Publishes immediately.
+  void bind_load_cell(std::uint32_t* cell) {
+    load_cell_ = cell;
+    publish_load();
+  }
+
   /// (Re)assigns this worker to host `variant` of `task` with the given
   /// maximum batch size. If the variant changes and `swap_cost` is true the
   /// worker becomes unavailable for the variant's load time. Items still in
@@ -93,7 +146,17 @@ class Worker {
   /// Removes the hosted instance; returns queued items for redistribution.
   std::vector<WorkItem> deactivate();
 
-  void enqueue(WorkItem item);
+  /// Hot path: one ring push plus a counter bump; the batch-start check
+  /// falls through in one compare when the worker is already busy/loading
+  /// (the common case under load).
+  void enqueue(WorkItem item) {
+    LOKI_CHECK_MSG(active(), "enqueue on deactivated worker " << id_);
+    queue_.push_back(item);
+    ++stage_.enqueued;
+    publish_load();
+    if (busy_ || loading_) return;
+    maybe_start_batch();
+  }
 
   bool active() const { return model_ != nullptr; }
   bool loading() const { return loading_; }
@@ -109,9 +172,11 @@ class Worker {
   std::size_t load() const { return queue_.size() + inflight_; }
 
   /// Seconds of busy execution accumulated (utilization accounting).
-  double busy_time_s() const { return busy_time_s_; }
-  std::uint64_t batches_executed() const { return batches_; }
-  std::uint64_t items_executed() const { return items_; }
+  double busy_time_s() const { return stage_.execute_s; }
+  std::uint64_t batches_executed() const { return stage_.batches; }
+  std::uint64_t items_executed() const { return stage_.batch_items; }
+  /// Per-stage counter snapshot (see StageCounters).
+  const StageCounters& stage_counters() const { return stage_; }
 
  private:
   void maybe_start_batch();
@@ -119,6 +184,17 @@ class Worker {
   std::vector<WorkItem> take_scratch();
   void recycle_scratch(std::vector<WorkItem>&& v);
   std::vector<WorkItem> flush_queue();
+
+  void publish_load() {
+    if (load_cell_ == nullptr) return;
+    if (model_ == nullptr) {
+      *load_cell_ = kLoadCellInactive;
+      return;
+    }
+    std::uint32_t v = static_cast<std::uint32_t>(queue_.size() + inflight_);
+    if (loading_) v |= kLoadCellLoadingBit;
+    *load_cell_ = v;
+  }
 
   int id_;
   sim::Simulation* sim_;
@@ -137,15 +213,14 @@ class Worker {
   std::vector<std::vector<WorkItem>> scratch_;
   sim::Simulation::EventId load_event_{};
   sim::Simulation::EventId wait_event_{};
+  std::uint32_t* load_cell_ = nullptr;
 
   BatchDoneFn on_batch_done_;
   DroppedFn on_dropped_;
   DropFilterFn drop_filter_;
   JitterFn jitter_;
 
-  double busy_time_s_ = 0.0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t items_ = 0;
+  StageCounters stage_;
 };
 
 }  // namespace loki::cluster

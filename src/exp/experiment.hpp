@@ -62,6 +62,20 @@ struct ExperimentConfig {
   std::size_t sim_shards = 1;
   /// Conservative synchronization window for parallel mode (seconds).
   double sim_window_s = 0.25;
+  /// Coordinated parallel mode (requires sim_shards > 1): instead of one
+  /// independent allocator per shard (each planning its own sub-cluster),
+  /// ONE strategy plans from barrier-merged observations (summed demand
+  /// estimate, summed per-task arrival rates, averaged multiplicative
+  /// factors) at deterministic window-barrier times, solving once per
+  /// control epoch for the representative 1/K demand slice; the plan is
+  /// installed on every shard via ServingSystem::install_plan(). K× fewer
+  /// solves than plain sharded mode, where each shard runs its own
+  /// allocator on its own clock. The physical clamp (every shard still
+  /// hosts at least one worker per task) remains. Deterministic for a fixed
+  /// shard count regardless of sim_threads (differential-tested).
+  bool sim_coordinated = false;
+  /// Worker threads for parallel mode (0 = min(shards, hw concurrency)).
+  std::size_t sim_threads = 0;
 };
 
 struct ExperimentResult {

@@ -25,6 +25,25 @@ void RoutingPlan::finalize(int num_tasks) {
   route_index_.assign(
       group_routes.size() * static_cast<std::size_t>(num_tasks), -1);
   route_tables_.clear();
+  draw_cum_.clear();
+  draw_grp_.clear();
+  draw_refs_.clear();
+  // Flattens one table into the shared cum/grp arrays. The partial sums are
+  // accumulated in the same left-to-right order as pick_route's linear scan,
+  // so DrawTable::pick maps every uniform draw to the identical group
+  // (differential-tested in load_balancer_test).
+  const auto flatten = [this](const std::vector<GroupRoute>& table) {
+    TableRef ref{static_cast<std::uint32_t>(draw_cum_.size()),
+                 static_cast<std::uint32_t>(table.size())};
+    double cum = 0.0;
+    for (const auto& route : table) {
+      cum += route.probability;
+      draw_cum_.push_back(cum);
+      draw_grp_.push_back(route.group);
+    }
+    return ref;
+  };
+  frontend_ref_ = flatten(frontend);
   for (std::size_t gi = 0; gi < group_routes.size(); ++gi) {
     for (const auto& [task, table] : group_routes[gi]) {
       if (task < 0 || task >= num_tasks) continue;
@@ -32,6 +51,7 @@ void RoutingPlan::finalize(int num_tasks) {
                    static_cast<std::size_t>(task)] =
           static_cast<std::int32_t>(route_tables_.size());
       route_tables_.push_back(table);
+      draw_refs_.push_back(flatten(table));
     }
   }
 }

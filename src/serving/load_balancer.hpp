@@ -58,25 +58,99 @@ struct RoutingPlan {
   /// runtime falls back to any worker of the task), while an *empty* table
   /// is a real table meaning "drop" (no capacity anywhere downstream).
   const std::vector<GroupRoute>* routes_for(int group, int task) const {
-    if (group < 0 || group >= static_cast<int>(group_routes.size()) ||
-        task < 0 || task >= route_tasks_) {
-      return nullptr;
-    }
-    const std::int32_t k =
-        route_index_[static_cast<std::size_t>(group) *
-                         static_cast<std::size_t>(route_tasks_) +
-                     static_cast<std::size_t>(task)];
+    const std::int32_t k = table_index(group, task);
     return k < 0 ? nullptr : &route_tables_[static_cast<std::size_t>(k)];
   }
-  /// (Re)builds the dense index from group_routes. The LoadBalancer calls
-  /// this before returning; call it again after mutating group_routes by
-  /// hand (tests).
+
+  /// Flattened draw view over one routing table: cumulative probability
+  /// thresholds (the same left-to-right partial sums the linear pick_route
+  /// accumulates, so every draw maps to the same group bit-for-bit) plus the
+  /// group ids, both contiguous. pick() is branchless either way — a
+  /// counting scan at realistic sizes, an O(log n) binary search for large
+  /// tables — with no per-draw memory traffic beyond the two arrays.
+  struct DrawTable {
+    const double* cum = nullptr;
+    const std::int32_t* grp = nullptr;
+    std::uint32_t size = 0;
+
+    bool empty() const { return size == 0; }
+
+    /// Same contract as pick_route(routes, r): the chosen group, or -1 when
+    /// the draw lands in the unplaced remainder; a draw past an exhaustive
+    /// table's fp tail falls back to the last route instead of shedding.
+    ///
+    /// Locates the first threshold > r. Small tables (the common case:
+    /// frontend and child tables hold a handful of groups) use a branchless
+    /// counting scan — independent compares over a contiguous double array,
+    /// one per cycle, with none of pick_route's serial fp-accumulate chain.
+    /// Large tables switch to a branchless binary search (conditional add
+    /// compiles to cmov), whose dependent-load chain only pays off once
+    /// O(n) compares cost more than O(log n) serialized levels.
+    int pick(double r) const {
+      if (size == 0) return -1;
+      std::uint32_t first_gt = 0;
+      if (size <= 64) {
+        for (std::uint32_t i = 0; i < size; ++i) {
+          first_gt += (cum[i] <= r) ? 1u : 0u;
+        }
+      } else {
+        std::uint32_t lo = 0;
+        std::uint32_t len = size;
+        while (len > 1) {
+          const std::uint32_t half = len >> 1;
+          lo += (cum[lo + half - 1] <= r) ? half : 0u;
+          len -= half;
+        }
+        first_gt = lo + ((cum[lo] <= r) ? 1u : 0u);
+      }
+      if (first_gt < size) return grp[first_gt];
+      if (cum[size - 1] >= 1.0 - 1e-9) return grp[size - 1];
+      return -1;  // unplaced remainder
+    }
+  };
+
+  /// Draw view of the frontend table.
+  DrawTable frontend_table() const { return table_view(frontend_ref_); }
+  /// Dense table id for (group, child task); -1 when the plan has no entry
+  /// (stale-plan marker, same contract as routes_for returning nullptr).
+  std::int32_t table_index(int group, int task) const {
+    if (group < 0 || group >= static_cast<int>(group_routes.size()) ||
+        task < 0 || task >= route_tasks_) {
+      return -1;
+    }
+    return route_index_[static_cast<std::size_t>(group) *
+                            static_cast<std::size_t>(route_tasks_) +
+                        static_cast<std::size_t>(task)];
+  }
+  /// Draw view for a table id from table_index() (must be >= 0).
+  DrawTable table_at(std::int32_t k) const {
+    return table_view(draw_refs_[static_cast<std::size_t>(k)]);
+  }
+
+  /// (Re)builds the dense index and the flattened draw tables from
+  /// frontend/group_routes. The LoadBalancer calls this before returning;
+  /// call it again after mutating the tables by hand (tests).
   void finalize(int num_tasks);
 
  private:
+  struct TableRef {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+
+  DrawTable table_view(TableRef ref) const {
+    return DrawTable{draw_cum_.data() + ref.off, draw_grp_.data() + ref.off,
+                     ref.len};
+  }
+
   int route_tasks_ = 0;
   std::vector<std::int32_t> route_index_;  // [group * route_tasks_ + task]
   std::vector<std::vector<GroupRoute>> route_tables_;
+  // Flattened draw tables (all tables concatenated; refs index into them).
+  std::vector<double> draw_cum_;
+  std::vector<std::int32_t> draw_grp_;
+  std::vector<TableRef> draw_refs_;  // parallel to route_tables_
+  TableRef frontend_ref_;
 };
 
 /// Draws from a route distribution with uniform sample `r` in [0, 1).

@@ -1,6 +1,7 @@
 #include "serving/system.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 #include "common/check.hpp"
@@ -34,7 +35,9 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
       rng_mult_(Rng(cfg.seed).stream("mult")),
       rng_jitter_(Rng(cfg.seed).stream("jitter")),
       rng_shed_(Rng(cfg.seed).stream("shed")) {
-  LOKI_CHECK(sim_ && graph_ && strategy_);
+  // strategy_ may be nullptr for externally-planned systems (coordinated
+  // sharding); start() / run_resource_manager() check it.
+  LOKI_CHECK(sim_ && graph_);
   mult_estimates_ = pipeline::default_mult_factors(*graph_);
   obs_in_.assign(mult_estimates_.size(), {});
   obs_out_.assign(mult_estimates_.size(), {});
@@ -42,12 +45,36 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
     obs_in_[t].assign(mult_estimates_[t].size(), 0.0);
     obs_out_[t].assign(mult_estimates_[t].size(), 0.0);
   }
-  task_window_arrivals_.assign(
-      static_cast<std::size_t>(graph_->num_tasks()), 0.0);
+  const std::size_t ntasks = static_cast<std::size_t>(graph_->num_tasks());
+  task_window_arrivals_.assign(ntasks, 0.0);
 
-  workers_.reserve(static_cast<std::size_t>(cfg_.allocator.cluster_size));
+  // Cache the graph lookups the per-item path repeats (root() and
+  // branch_ratio() scan inside the graph; the cached doubles are the same
+  // values, so sampling stays bit-identical).
+  root_task_ = graph_->root();
+  branch_ratios_.resize(ntasks);
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    for (int c : graph_->children(static_cast<int>(t))) {
+      branch_ratios_[t].push_back(
+          graph_->branch_ratio(static_cast<int>(t), c));
+    }
+  }
+  budget_off_.assign(ntasks + 1, 0);
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    budget_off_[t + 1] =
+        budget_off_[t] + graph_->task(static_cast<int>(t)).catalog.size();
+  }
+  budget_lut_.assign(budget_off_[ntasks], -1.0);
+
+  const std::size_t cluster =
+      static_cast<std::size_t>(cfg_.allocator.cluster_size);
+  // Sized before binding: workers keep raw pointers into worker_load_.
+  worker_load_.assign(cluster, cluster::Worker::kLoadCellInactive);
+  worker_task_.assign(cluster, -1);
+  workers_.reserve(cluster);
   for (int i = 0; i < cfg_.allocator.cluster_size; ++i) {
     auto w = std::make_unique<cluster::Worker>(i, sim_);
+    w->bind_load_cell(&worker_load_[static_cast<std::size_t>(i)]);
     w->set_batch_done([this](cluster::Worker& wk,
                              std::vector<cluster::WorkItem>& items,
                              const cluster::Worker::BatchContext& ctx) {
@@ -98,12 +125,9 @@ void ServingSystem::attach_metadata_store(MetadataStore* store) {
 
 ServingSystem::~ServingSystem() = default;
 
-void ServingSystem::start() {
-  LOKI_CHECK(!started_);
-  started_ = true;
-  run_resource_manager();  // initial allocation + routing
+void ServingSystem::schedule_control_loops(bool with_rm) {
   // Periodic control loops. Self-rescheduling keeps periods exact.
-  auto schedule_periodic = [this](double period, auto&& fn) {
+  auto schedule_periodic = [this](double period, std::function<void()> fn) {
     // The system owns the callback (periodic_); the scheduled copies only
     // hold a weak_ptr, so the reschedule cycle cannot keep itself alive
     // (was a shared_ptr self-capture leak). The copies still capture `this`:
@@ -111,7 +135,7 @@ void ServingSystem::start() {
     // in this codebase.
     auto holder = std::make_shared<std::function<void()>>();
     std::weak_ptr<std::function<void()>> weak = holder;
-    *holder = [this, period, weak, fn]() {
+    *holder = [this, period, weak, fn = std::move(fn)]() {
       if (stopped_) return;
       fn();
       if (auto cb = weak.lock()) sim_->schedule_after(period, *cb);
@@ -119,9 +143,47 @@ void ServingSystem::start() {
     periodic_.push_back(holder);
     sim_->schedule_after(period, *holder);
   };
-  schedule_periodic(cfg_.rm_period_s, [this]() { run_resource_manager(); });
+  if (with_rm) {
+    schedule_periodic(cfg_.rm_period_s, [this]() { run_resource_manager(); });
+  }
   schedule_periodic(cfg_.lb_period_s, [this]() { run_load_balancer(); });
   schedule_periodic(cfg_.heartbeat_period_s, [this]() { run_heartbeat(); });
+}
+
+void ServingSystem::start() {
+  LOKI_CHECK(!started_);
+  LOKI_CHECK_MSG(strategy_ != nullptr,
+                 "start() needs a strategy; externally-planned systems use "
+                 "start_external()");
+  started_ = true;
+  run_resource_manager();  // initial allocation + routing
+  schedule_control_loops(/*with_rm=*/true);
+}
+
+void ServingSystem::start_external() {
+  LOKI_CHECK(!started_);
+  started_ = true;
+  external_ = true;
+  // No Resource Manager loop: plans arrive via install_plan(). The LB and
+  // heartbeat loops still run so routing tracks the local demand estimate
+  // and mult observations between plan pushes.
+  schedule_control_loops(/*with_rm=*/false);
+}
+
+void ServingSystem::install_plan(AllocationPlan plan) {
+  const double now = sim_->now();
+  has_plan_ = true;
+  last_alloc_demand_ = plan.demand_qps;
+  ++allocations_;
+  if (metadata_) {
+    metadata_->record_demand(now, plan.demand_qps);
+    metadata_->record_plan(now, plan);
+    metadata_->record_mult_factors(mult_estimates_);
+  }
+  apply_plan(std::move(plan));
+  run_load_balancer();
+  metrics_.record_allocation(now, plan_.solve_time_s,
+                             static_cast<int>(plan_.mode));
 }
 
 void ServingSystem::finish(double t_end) {
@@ -137,6 +199,12 @@ int ServingSystem::active_workers() const {
   return n;
 }
 
+cluster::StageCounters ServingSystem::stage_counters() const {
+  cluster::StageCounters total;
+  for (const auto& w : workers_) total += w->stage_counters();
+  return total;
+}
+
 double ServingSystem::comm_delay() {
   double d = cfg_.allocator.comm_latency_s;
   if (cfg_.comm_jitter_frac > 0.0) {
@@ -146,8 +214,10 @@ double ServingSystem::comm_delay() {
 }
 
 double ServingSystem::runtime_budget(int task, int variant, int batch) const {
-  auto it = plan_.latency_budget_s.find({task, variant});
-  if (it != plan_.latency_budget_s.end()) return it->second;
+  const double b =
+      budget_lut_[budget_off_[static_cast<std::size_t>(task)] +
+                  static_cast<std::size_t>(variant)];
+  if (b >= 0.0) return b;
   // Plan changed under the request: fall back to 2x the profiled batch
   // latency of this worker's configuration.
   const auto& prof = profiles_[static_cast<std::size_t>(task)]
@@ -156,6 +226,20 @@ double ServingSystem::runtime_budget(int task, int variant, int batch) const {
   const double lat = idx >= 0 ? prof.latency_s[static_cast<std::size_t>(idx)]
                               : prof.latency_s.back();
   return 2.0 * lat;
+}
+
+void ServingSystem::rebuild_budget_lut() {
+  std::fill(budget_lut_.begin(), budget_lut_.end(), -1.0);
+  for (const auto& [tv, budget] : plan_.latency_budget_s) {
+    const auto [task, variant] = tv;
+    if (task < 0 || task >= graph_->num_tasks() || variant < 0) continue;
+    const std::size_t slot =
+        budget_off_[static_cast<std::size_t>(task)] +
+        static_cast<std::size_t>(variant);
+    if (slot < budget_off_[static_cast<std::size_t>(task) + 1]) {
+      budget_lut_[slot] = budget;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -167,7 +251,7 @@ void ServingSystem::submit() {
   const bool metered = now >= cfg_.metrics_warmup_s;
   if (metered) metrics_.record_arrival(now);
   demand_.record_arrival(now);
-  task_window_arrivals_[static_cast<std::size_t>(graph_->root())] += 1.0;
+  task_window_arrivals_[static_cast<std::size_t>(root_task_)] += 1.0;
 
   // Overload shedding: the plan serves only served_fraction of demand.
   if (plan_.served_fraction < 1.0 &&
@@ -176,7 +260,7 @@ void ServingSystem::submit() {
     return;
   }
 
-  const int group = pick_group(routing_.frontend);
+  const int group = pick_group(routing_.frontend_table());
   if (group < 0) {
     if (metered) metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0);
     return;
@@ -190,37 +274,39 @@ void ServingSystem::submit() {
 
   cluster::WorkItem item;
   item.query_id = qid;
-  item.task = graph_->root();
+  item.task = root_task_;
   item.deadline = qs.deadline;
   item.accuracy_so_far = 1.0;
   forward_item(item, group);
 }
 
-int ServingSystem::pick_group(const std::vector<GroupRoute>& routes) {
+int ServingSystem::pick_group(const RoutingPlan::DrawTable& table) {
   // Empty tables short-circuit before drawing so the routing RNG stream
   // advances exactly as often as before (bit-reproducibility).
-  if (routes.empty()) return -1;
-  return pick_route(routes, rng_routing_.uniform());
+  if (table.empty()) return -1;
+  return table.pick(rng_routing_.uniform());
 }
 
 int ServingSystem::pick_worker(int group) const {
   if (group < 0 || group >= static_cast<int>(group_workers_.size())) return -1;
-  // Least-loaded replica; workers mid model-swap only as a last resort
-  // (their queue stalls for the whole load time).
+  // Least-loaded replica over the packed load cells; workers mid model-swap
+  // only as a last resort (their queue stalls for the whole load time).
+  // Tie-breaks (first minimum in group order) match the old per-Worker scan.
   int best = -1;
-  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  std::uint32_t best_load = cluster::Worker::kLoadCellInactive;
   int best_loading = -1;
-  std::size_t best_loading_load = std::numeric_limits<std::size_t>::max();
+  std::uint32_t best_loading_load = cluster::Worker::kLoadCellInactive;
   for (int wid : group_workers_[static_cast<std::size_t>(group)]) {
-    const auto& w = *workers_[static_cast<std::size_t>(wid)];
-    if (!w.active()) continue;
-    if (w.loading()) {
-      if (w.load() < best_loading_load) {
-        best_loading_load = w.load();
+    const std::uint32_t cell = worker_load_[static_cast<std::size_t>(wid)];
+    if (cell == cluster::Worker::kLoadCellInactive) continue;
+    if (cell & cluster::Worker::kLoadCellLoadingBit) {
+      const std::uint32_t l = cell & ~cluster::Worker::kLoadCellLoadingBit;
+      if (l < best_loading_load) {
+        best_loading_load = l;
         best_loading = wid;
       }
-    } else if (w.load() < best_load) {
-      best_load = w.load();
+    } else if (cell < best_load) {
+      best_load = cell;
       best = wid;
     }
   }
@@ -229,19 +315,22 @@ int ServingSystem::pick_worker(int group) const {
 
 int ServingSystem::pick_worker_for_task(int task) const {
   int best = -1;
-  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  std::uint32_t best_load = cluster::Worker::kLoadCellInactive;
   int best_loading = -1;
-  std::size_t best_loading_load = std::numeric_limits<std::size_t>::max();
-  for (const auto& w : workers_) {
-    if (!w->active() || w->task() != task) continue;
-    if (w->loading()) {
-      if (w->load() < best_loading_load) {
-        best_loading_load = w->load();
-        best_loading = w->id();
+  std::uint32_t best_loading_load = cluster::Worker::kLoadCellInactive;
+  for (std::size_t wid = 0; wid < worker_load_.size(); ++wid) {
+    if (worker_task_[wid] != task) continue;
+    const std::uint32_t cell = worker_load_[wid];
+    if (cell == cluster::Worker::kLoadCellInactive) continue;
+    if (cell & cluster::Worker::kLoadCellLoadingBit) {
+      const std::uint32_t l = cell & ~cluster::Worker::kLoadCellLoadingBit;
+      if (l < best_loading_load) {
+        best_loading_load = l;
+        best_loading = static_cast<int>(wid);
       }
-    } else if (w->load() < best_load) {
-      best_load = w->load();
-      best = w->id();
+    } else if (cell < best_load) {
+      best_load = cell;
+      best = static_cast<int>(wid);
     }
   }
   return best >= 0 ? best : best_loading;
@@ -311,6 +400,8 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
   const double budget = runtime_budget(task, variant, ctx.max_batch);
   const bool is_sink = graph_->is_sink(task);
   const double r_true = ctx.model->mult_factor_mean;
+  const auto& children = graph_->children(task);
+  const auto& ratios = branch_ratios_[static_cast<std::size_t>(task)];
 
   for (auto& item : items) {
     obs_in_[static_cast<std::size_t>(task)][static_cast<std::size_t>(variant)] +=
@@ -333,20 +424,20 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
     }
 
     // Sample the realized multiplicative factor: total detected objects,
-    // multinomially assigned to children by branch ratio.
+    // multinomially assigned to children by branch ratio. Draw order and
+    // values are identical to the pre-scratch implementation (bit-repro).
     const auto total_objects = rng_mult_.poisson(r_true);
     obs_out_[static_cast<std::size_t>(task)]
             [static_cast<std::size_t>(variant)] +=
         static_cast<double>(total_objects);
 
-    const auto& children = graph_->children(task);
-    std::vector<int> child_counts(children.size(), 0);
+    scratch_child_counts_.assign(children.size(), 0);
     for (std::uint64_t obj = 0; obj < total_objects; ++obj) {
       double u = rng_mult_.uniform();
       for (std::size_t ci = 0; ci < children.size(); ++ci) {
-        const double br = graph_->branch_ratio(task, children[ci]);
+        const double br = ratios[ci];
         if (u < br) {
-          ++child_counts[ci];
+          ++scratch_child_counts_[ci];
           break;
         }
         u -= br;
@@ -356,27 +447,24 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
     QueryState* qstate = queries_.find(item.query_id);
     if (qstate == nullptr) continue;  // already finalized (shouldn't)
 
-    struct PendingForward {
-      int group;
-      int count;
-      int child_task;
-    };
-    std::vector<PendingForward> forwards;
+    scratch_forwards_.clear();
     bool drop_rest = false;
 
     for (std::size_t ci = 0; ci < children.size(); ++ci) {
       const int child = children[ci];
       task_window_arrivals_[static_cast<std::size_t>(child)] +=
-          static_cast<double>(child_counts[ci]);
-      if (child_counts[ci] == 0) continue;
-      // This worker's routing table for the child task (null = stale plan;
-      // dense index, no map search per item).
-      const auto* route_it = routing_.routes_for(
+          static_cast<double>(scratch_child_counts_[ci]);
+      if (scratch_child_counts_[ci] == 0) continue;
+      // This worker's routing table for the child task (negative index =
+      // stale plan, same contract as routes_for returning nullptr).
+      const std::int32_t ti = routing_.table_index(
           worker_group_[static_cast<std::size_t>(w.id())], child);
+      const RoutingPlan::DrawTable table =
+          ti >= 0 ? routing_.table_at(ti) : RoutingPlan::DrawTable{};
 
-      for (int n = 0; n < child_counts[ci]; ++n) {
-        int group = route_it ? pick_group(*route_it) : -1;
-        if (group < 0 && route_it == nullptr) {
+      for (int n = 0; n < scratch_child_counts_[ci]; ++n) {
+        int group = ti >= 0 ? pick_group(table) : -1;
+        if (group < 0 && ti < 0) {
           // No table (stale plan): any worker of the child task.
           const int alt = pick_worker_for_task(child);
           if (alt >= 0) {
@@ -444,7 +532,7 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
           drop_rest = true;
           break;
         }
-        forwards.push_back({group, 1, child});
+        scratch_forwards_.push_back({group, 1, child});
       }
       if (drop_rest) break;
     }
@@ -454,8 +542,8 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
       continue;
     }
     // Commit the forwards.
-    metrics_.record_forwards(forwards.size());
-    for (const auto& f : forwards) {
+    metrics_.record_forwards(scratch_forwards_.size());
+    for (const auto& f : scratch_forwards_) {
       cluster::WorkItem next;
       next.query_id = item.query_id;
       next.task = f.child_task;
@@ -524,6 +612,7 @@ std::vector<double> ServingSystem::drain_task_arrivals(double now) {
 }
 
 void ServingSystem::run_resource_manager() {
+  LOKI_CHECK(strategy_ != nullptr);
   const double now = sim_->now();
   const double demand = demand_.estimate(now);
   // Hysteresis: skip the re-allocation when demand barely moved — swapping
@@ -592,7 +681,9 @@ void ServingSystem::run_heartbeat() {
 
   // §4.2: the Resource Manager reallocates between periodic invocations
   // when it detects a significant demand change (e.g. cold start or a
-  // burst arriving right after a periodic run).
+  // burst arriving right after a periodic run). Externally-planned systems
+  // leave surge handling to their coordinator (which sees all shards).
+  if (external_) return;
   const double est = demand_.estimate(now);
   const bool surge = est > last_alloc_demand_ * 1.25 + 1.0;
   const bool collapse = est < last_alloc_demand_ * 0.5 - 1.0;
@@ -611,6 +702,10 @@ void ServingSystem::apply_plan(AllocationPlan plan) {
 
   std::vector<bool> worker_placed(workers_.size(), false);
   std::vector<cluster::WorkItem> flushed;
+  const auto flush_into = [&flushed](std::vector<cluster::WorkItem>&& items) {
+    flushed.insert(flushed.end(), std::make_move_iterator(items.begin()),
+                   std::make_move_iterator(items.end()));
+  };
 
   // Pass 1: keep workers already hosting the right (task, variant); a batch
   // parameter change is free.
@@ -622,11 +717,10 @@ void ServingSystem::apply_plan(AllocationPlan plan) {
       auto& w = *workers_[wi];
       if (worker_placed[wi] || !w.active()) continue;
       if (w.task() == ic.task && w.variant() == ic.variant) {
-        auto items = w.assign(
+        flush_into(w.assign(
             ic.task, ic.variant,
             &graph_->task(ic.task).catalog.at(ic.variant), ic.batch,
-            /*swap_cost=*/false);
-        for (auto& item : items) flushed.push_back(item);
+            /*swap_cost=*/false));
         new_group_workers[static_cast<std::size_t>(gi)].push_back(w.id());
         worker_placed[wi] = true;
         --slots_left[static_cast<std::size_t>(gi)];
@@ -643,10 +737,9 @@ void ServingSystem::apply_plan(AllocationPlan plan) {
          ++wi) {
       auto& w = *workers_[wi];
       if (worker_placed[wi] || w.active()) continue;
-      auto items = w.assign(ic.task, ic.variant,
-                            &graph_->task(ic.task).catalog.at(ic.variant),
-                            ic.batch, cfg_.model_swap_cost);
-      for (auto& item : items) flushed.push_back(item);
+      flush_into(w.assign(ic.task, ic.variant,
+                          &graph_->task(ic.task).catalog.at(ic.variant),
+                          ic.batch, cfg_.model_swap_cost));
       new_group_workers[static_cast<std::size_t>(gi)].push_back(w.id());
       worker_placed[wi] = true;
       --slots_left[static_cast<std::size_t>(gi)];
@@ -670,8 +763,7 @@ void ServingSystem::apply_plan(AllocationPlan plan) {
   // Deactivate everything not placed (hardware scale-down).
   for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
     if (!worker_placed[wi] && workers_[wi]->active()) {
-      auto items = workers_[wi]->deactivate();
-      for (auto& item : items) flushed.push_back(item);
+      flush_into(workers_[wi]->deactivate());
     }
   }
   // Unstaffed groups first: a group with zero ready workers blocks its
@@ -687,12 +779,17 @@ void ServingSystem::apply_plan(AllocationPlan plan) {
   pending_swaps_.assign(deferred.begin(), deferred.end());
 
   plan_ = std::move(plan);
+  rebuild_budget_lut();
   group_workers_ = std::move(new_group_workers);
   worker_group_.assign(workers_.size(), -1);
   for (std::size_t gi = 0; gi < group_workers_.size(); ++gi) {
     for (int wid : group_workers_[gi]) {
       worker_group_[static_cast<std::size_t>(wid)] = static_cast<int>(gi);
     }
+  }
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    worker_task_[wi] =
+        workers_[wi]->active() ? workers_[wi]->task() : -1;
   }
   recompute_descendant_budgets();
   kick_pending_swaps();
@@ -719,6 +816,7 @@ void ServingSystem::kick_pending_swaps() {
     auto items = w.assign(ic.task, ic.variant, model, ic.batch, pays_swap);
     group_workers_[static_cast<std::size_t>(gi)].push_back(wid);
     worker_group_[static_cast<std::size_t>(wid)] = gi;
+    worker_task_[static_cast<std::size_t>(wid)] = ic.task;
     redistribute(std::move(items));
     if (pays_swap && model->load_time_s > 0.0) {
       metrics_.record_model_swap();

@@ -13,6 +13,15 @@
 // The same runtime hosts Loki and both baselines: the allocation strategy is
 // injected (MilpAllocator, baselines::InferLineStrategy,
 // baselines::ProteusStrategy).
+//
+// Hot-path discipline (per arrival / per forwarded item): routing draws go
+// through RoutingPlan::DrawTable (flat cumulative thresholds, branchless
+// binary search — bit-identical to the linear scan); replica selection scans
+// the packed per-worker load-cell array instead of dereferencing Worker
+// objects; latency budgets read a dense per-(task, variant) LUT rebuilt at
+// plan install (AllocationPlan keeps the map as its serialization form);
+// fan-out bookkeeping reuses member scratch buffers. Steady-state query flow
+// performs no heap allocation outside pool growth.
 #pragma once
 
 #include <deque>
@@ -85,6 +94,8 @@ class ServingSystem {
  public:
   /// `graph` and `strategy` must outlive the system. `profiles` is the
   /// Metadata Store's profiled q(i,k,b) table shared with the strategy.
+  /// `strategy` may be nullptr only for externally-planned systems (see
+  /// start_external): such a system never runs its own Resource Manager.
   ServingSystem(sim::Simulation* sim, const pipeline::PipelineGraph* graph,
                 ProfileTable profiles, AllocationStrategy* strategy,
                 SystemConfig cfg);
@@ -96,6 +107,19 @@ class ServingSystem {
   /// Performs the initial allocation and schedules the periodic control
   /// events. Call once before submitting queries.
   void start();
+
+  /// Externally-planned (coordinated) mode: schedules only the Load
+  /// Balancer and heartbeat loops — no Resource Manager. A coordinator
+  /// (e.g. the intra-cluster-sharded experiment driver) pushes plans via
+  /// install_plan() at parallel-simulation window barriers. Call once,
+  /// instead of start().
+  void start_external();
+
+  /// Applies a plan produced outside this system (coordinated mode): worker
+  /// placement, routing refresh, allocation metrics. The plan's
+  /// solve_time_s is NOT added to total_solve_time_s() — the coordinator
+  /// accounts the (shared) solve once.
+  void install_plan(AllocationPlan plan);
 
   /// Client query arriving now (drives one end-to-end pipeline execution).
   void submit();
@@ -120,6 +144,18 @@ class ServingSystem {
   double total_solve_time_s() const { return total_solve_time_s_; }
   int allocations_performed() const { return allocations_; }
 
+  /// Current frontend demand estimate (coordinated-mode input merging).
+  double demand_estimate_now() { return demand_.estimate(sim_->now()); }
+  /// Drains the per-task arrival-rate window (coordinated-mode input
+  /// merging; the in-process Resource Manager calls the private form).
+  std::vector<double> drain_task_arrivals_now() {
+    return drain_task_arrivals(sim_->now());
+  }
+
+  /// Aggregated per-stage hot-path counters across the whole cluster
+  /// (queue wait / batching / execute / swap stalls).
+  cluster::StageCounters stage_counters() const;
+
  private:
   struct QueryState {
     double arrival = 0.0;
@@ -129,6 +165,13 @@ class ServingSystem {
     bool metered = true;  // false during the warm-up window
     double accuracy_sum = 0.0;
     int sink_completions = 0;
+  };
+
+  /// One committed fan-out decision awaiting dispatch (scratch-pooled).
+  struct PendingForward {
+    int group;
+    int count;
+    int child_task;
   };
 
   void on_batch_done(cluster::Worker& w, std::vector<cluster::WorkItem>& items,
@@ -141,15 +184,19 @@ class ServingSystem {
   void run_resource_manager();
   void run_load_balancer();
   void run_heartbeat();
+  /// Schedules the periodic control loops (RM only when `with_rm`).
+  void schedule_control_loops(bool with_rm);
 
   void apply_plan(AllocationPlan plan);
   void redistribute(std::vector<cluster::WorkItem>&& items);
   /// Starts deferred swaps while under the concurrency bound.
   void kick_pending_swaps();
 
-  /// Picks a group from a route distribution; -1 when the draw lands in the
-  /// unplaced remainder (shed/drop).
-  int pick_group(const std::vector<GroupRoute>& routes);
+  /// Picks a group from a flattened route table; -1 when the draw lands in
+  /// the unplaced remainder (shed/drop). Empty tables short-circuit before
+  /// drawing (the routing RNG stream must advance exactly as often as the
+  /// pre-table runtime did — bit-reproducibility).
+  int pick_group(const RoutingPlan::DrawTable& table);
   /// Least-loaded active worker of a group; -1 if the group has none.
   int pick_worker(int group) const;
   /// Least-loaded active worker hosting `task` (any variant).
@@ -162,6 +209,9 @@ class ServingSystem {
     return desc_budget_[static_cast<std::size_t>(task)];
   }
   void recompute_descendant_budgets();
+  /// Rebuilds the dense per-(task, variant) latency-budget LUT from the
+  /// freshly installed plan's map.
+  void rebuild_budget_lut();
   void drop_query_part(std::uint64_t query_id, double now);
   void complete_part(std::uint64_t query_id, double now);
   double runtime_budget(int task, int variant, int batch) const;
@@ -182,7 +232,28 @@ class ServingSystem {
   std::vector<double> desc_budget_;  // per task
   pipeline::MultFactorTable mult_estimates_;
 
+  // Pipeline-graph lookups cached at construction: root() and
+  // branch_ratio() are linear scans inside the graph, and the completion
+  // path consults them per arrival / per detected object.
+  int root_task_ = 0;
+  std::vector<std::vector<double>> branch_ratios_;  // [task][child index]
+
+  // Dense latency-budget LUT: budget_lut_[budget_off_[task] + variant],
+  // -1 when the current plan has no (task, variant) entry (fall back to the
+  // profiled-latency rule). Rebuilt by rebuild_budget_lut() at plan install;
+  // AllocationPlan::latency_budget_s (std::map) stays the authoring and
+  // serialization form (plan_io).
+  std::vector<std::size_t> budget_off_;  // per task, catalog-size prefix sums
+  std::vector<double> budget_lut_;
+
   std::vector<std::unique_ptr<cluster::Worker>> workers_;
+  /// Packed per-worker load cells published by the workers themselves
+  /// (cluster::Worker::bind_load_cell): replica selection reads 4 bytes per
+  /// candidate instead of chasing a unique_ptr and three flags. Parallel
+  /// array worker_task_ mirrors each worker's hosted task (-1 inactive) for
+  /// the any-worker-of-task fallback scan.
+  std::vector<std::uint32_t> worker_load_;
+  std::vector<int> worker_task_;
   std::vector<std::vector<int>> group_workers_;  // plan group -> worker ids
   std::vector<int> worker_group_;                // worker id -> group (-1)
   std::deque<std::pair<int, int>> pending_swaps_;  // (worker id, group)
@@ -207,6 +278,11 @@ class ServingSystem {
   std::vector<double> task_window_arrivals_;  // per task, since last plan
   double arrivals_window_start_ = 0.0;
 
+  // Fan-out scratch reused across items (capacity survives; the completion
+  // path never allocates in steady state).
+  std::vector<int> scratch_child_counts_;
+  std::vector<PendingForward> scratch_forwards_;
+
   Rng rng_routing_;
   Rng rng_mult_;
   Rng rng_jitter_;
@@ -219,6 +295,7 @@ class ServingSystem {
   std::vector<std::shared_ptr<std::function<void()>>> periodic_;
   bool started_ = false;
   bool stopped_ = false;
+  bool external_ = false;
   bool has_plan_ = false;
   double last_alloc_demand_ = 0.0;
   double total_solve_time_s_ = 0.0;

@@ -43,6 +43,7 @@ void ParallelSimulation::run_until(Time t_end) {
     }
     now_ = w_end;
     apply_posts();
+    if (barrier_cb_) barrier_cb_(w_end);
   }
 }
 

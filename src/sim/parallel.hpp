@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -60,6 +61,15 @@ class ParallelSimulation {
   void post(std::size_t src, std::size_t dst, Time t,
             Simulation::Callback cb);
 
+  /// Barrier hook: called on the driving thread after every window barrier
+  /// (post-merge), with the barrier time. All shards are quiescent at that
+  /// point, so the callback may inspect and mutate any shard directly —
+  /// this is how a cross-shard coordinator (e.g. the intra-cluster-sharded
+  /// serving driver) runs shared planning at deterministic points. Work it
+  /// schedules into shards lands at or after the barrier time.
+  using BarrierFn = std::function<void(Time)>;
+  void set_barrier_callback(BarrierFn fn) { barrier_cb_ = std::move(fn); }
+
  private:
   void apply_posts();
 
@@ -73,6 +83,7 @@ class ParallelSimulation {
   std::vector<std::unique_ptr<Simulation>> shards_;
   std::vector<std::vector<Post>> posts_;  // indexed by source shard
   ThreadPool pool_;
+  BarrierFn barrier_cb_;
   Time now_ = 0.0;
   Time window_end_ = 0.0;
 };

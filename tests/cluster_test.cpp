@@ -222,5 +222,82 @@ TEST(Worker, BatchWaitCancelledOnDeactivate) {
   EXPECT_TRUE(h.batches.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Stage counters and the external load cell
+// ---------------------------------------------------------------------------
+
+TEST(Worker, StageCountersTrackQueueBatchExecuteSwap) {
+  Harness h;
+  h.worker.assign(0, 0, &h.catalog.at(0), 2, /*swap_cost=*/false);
+  for (int i = 0; i < 4; ++i) h.worker.enqueue(h.item(i));
+  h.sim.run_all();
+
+  const StageCounters& sc = h.worker.stage_counters();
+  EXPECT_EQ(sc.enqueued, 4u);
+  EXPECT_EQ(sc.batch_items, 4u);
+  EXPECT_GE(sc.batches, 2u);  // max_batch 2: at least two batches
+  EXPECT_EQ(sc.batches, h.worker.batches_executed());
+  EXPECT_DOUBLE_EQ(sc.execute_s, h.worker.busy_time_s());
+  EXPECT_GT(sc.execute_s, 0.0);
+  // Items enqueued at t=0 that executed in the 2nd+ batch waited in queue.
+  EXPECT_GT(sc.queue_wait_s, 0.0);
+  EXPECT_EQ(sc.swaps, 0u);
+  EXPECT_DOUBLE_EQ(sc.swap_stall_s, 0.0);
+
+  // Paid variant swap shows up in the swap stage.
+  h.worker.assign(0, 1, &h.catalog.at(1), 2, /*swap_cost=*/true);
+  const StageCounters& sc2 = h.worker.stage_counters();
+  EXPECT_EQ(sc2.swaps, 1u);
+  EXPECT_DOUBLE_EQ(sc2.swap_stall_s, h.catalog.at(1).load_time_s);
+}
+
+TEST(Worker, StageCountersAggregateWithPlus) {
+  StageCounters a;
+  a.enqueued = 3;
+  a.queue_wait_s = 0.5;
+  a.batches = 2;
+  a.batch_items = 3;
+  a.execute_s = 1.0;
+  a.swaps = 1;
+  a.swap_stall_s = 4.0;
+  StageCounters b = a;
+  b += a;
+  EXPECT_EQ(b.enqueued, 6u);
+  EXPECT_DOUBLE_EQ(b.queue_wait_s, 1.0);
+  EXPECT_EQ(b.batches, 4u);
+  EXPECT_EQ(b.batch_items, 6u);
+  EXPECT_DOUBLE_EQ(b.execute_s, 2.0);
+  EXPECT_EQ(b.swaps, 2u);
+  EXPECT_DOUBLE_EQ(b.swap_stall_s, 8.0);
+}
+
+TEST(Worker, LoadCellPublishesEveryStateChange) {
+  Harness h;
+  std::uint32_t cell = 0;
+  h.worker.bind_load_cell(&cell);
+  // Unassigned worker: inactive sentinel immediately on bind.
+  EXPECT_EQ(cell, Worker::kLoadCellInactive);
+
+  h.worker.assign(0, 0, &h.catalog.at(0), 8, /*swap_cost=*/false);
+  EXPECT_EQ(cell, 0u);  // active, idle
+
+  h.worker.enqueue(h.item(1));
+  // The item went straight into an executing batch: load 1, no loading bit.
+  EXPECT_EQ(cell, 1u);
+  h.sim.run_all();
+  EXPECT_EQ(cell, 0u);  // drained
+
+  // A paid swap publishes the loading bit for the load duration.
+  h.worker.assign(0, 1, &h.catalog.at(1), 8, /*swap_cost=*/true);
+  EXPECT_TRUE(cell & Worker::kLoadCellLoadingBit);
+  h.worker.enqueue(h.item(2));
+  EXPECT_EQ(cell, 1u | Worker::kLoadCellLoadingBit);
+  h.sim.run_all();  // load completes, batch executes, queue drains
+  EXPECT_EQ(cell, 0u);
+
+  h.worker.deactivate();
+  EXPECT_EQ(cell, Worker::kLoadCellInactive);
+}
+
 }  // namespace
 }  // namespace loki::cluster

@@ -3,6 +3,10 @@
 // tables for opportunistic rerouting.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "pipeline/pipelines.hpp"
 #include "profile/profiler.hpp"
 #include "serving/load_balancer.hpp"
@@ -219,6 +223,97 @@ TEST(RoutingPlan, RoutesForDistinguishesMissingFromEmpty) {
   EXPECT_EQ(r.routes_for(5, 1), nullptr);
   EXPECT_EQ(r.routes_for(0, 99), nullptr);
   EXPECT_EQ(r.routes_for(-1, 0), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Flattened draw tables (differential vs. the linear pick_route reference)
+// ---------------------------------------------------------------------------
+
+/// Builds a finalized RoutingPlan whose frontend is `routes` (the table
+/// under test); table draws go through frontend_table().
+RoutingPlan table_plan(std::vector<GroupRoute> routes) {
+  RoutingPlan r;
+  r.frontend = std::move(routes);
+  r.finalize(/*num_tasks=*/1);
+  return r;
+}
+
+TEST(DrawTable, MatchesLinearPickRouteOnDenseDrawSweep) {
+  // Tables exercising every structural case: exhaustive, partial (sheds),
+  // zero-probability routes (never drawn, but thresholds tie), singleton.
+  const std::vector<std::vector<GroupRoute>> tables = {
+      {{7, 1.0}},
+      {{1, 0.25}, {2, 0.25}, {3, 0.25}, {4, 0.25}},
+      {{1, 0.3}, {2, 0.0}, {3, 0.3}},                    // partial + zero-prob
+      {{5, 0.0}, {6, 0.5}, {7, 0.5}},                    // leading zero-prob
+      {{1, 0.1}, {2, 0.2}, {3, 0.3}, {4, 0.39999999}},   // fp-shy of 1
+      {{9, 0.6}},                                        // partial singleton
+  };
+  for (const auto& routes : tables) {
+    const auto r = table_plan(routes);
+    const auto table = r.frontend_table();
+    ASSERT_EQ(table.size, routes.size());
+    // Dense sweep across [0, 1) plus the exact threshold values (the
+    // boundary draws are where an off-by-one in the binary search shows).
+    std::vector<double> draws;
+    for (int i = 0; i < 2000; ++i) draws.push_back(i / 2000.0);
+    double cum = 0.0;
+    for (const auto& route : routes) {
+      cum += route.probability;
+      draws.push_back(cum);
+      draws.push_back(std::nextafter(cum, 0.0));
+      draws.push_back(std::nextafter(cum, 2.0));
+    }
+    for (double d : draws) {
+      if (d < 0.0 || d >= 1.0 + 1e-9) continue;
+      EXPECT_EQ(table.pick(d), pick_route(routes, d))
+          << "draw " << d << " diverged on table of size " << routes.size();
+    }
+  }
+}
+
+TEST(DrawTable, FloatingPointTailDoesNotShedExhaustiveTable) {
+  // Ten routes of 0.09999999999 sum to 0.9999999999: exhaustive up to fp
+  // rounding. A draw landing past the accumulated tail must fall back to
+  // the last route — in both the linear reference and the flat table.
+  std::vector<GroupRoute> routes;
+  for (int g = 0; g < 10; ++g) routes.push_back({g, 0.09999999999});
+  const auto r = table_plan(routes);
+  const double tail_draw = 1.0 - 5e-11;  // beyond the accumulated sum
+  EXPECT_EQ(pick_route(routes, tail_draw), 9);
+  EXPECT_EQ(r.frontend_table().pick(tail_draw), 9);
+}
+
+TEST(DrawTable, PartialTableStillShedsPastItsSum) {
+  std::vector<GroupRoute> routes = {{0, 0.3}, {1, 0.3}};  // sums to 0.6
+  const auto r = table_plan(routes);
+  EXPECT_EQ(r.frontend_table().pick(0.61), -1);
+  EXPECT_EQ(r.frontend_table().pick(0.59), 1);
+  EXPECT_EQ(pick_route(routes, 0.61), -1);
+}
+
+TEST(DrawTable, GroupTablesMatchTheirLinearSource) {
+  // End-to-end: tables produced by MostAccurateFirst must agree with their
+  // linear source table for every draw (the runtime uses table_at/pick, the
+  // reference uses route_tables via routes_for/pick_route).
+  Fixture f;
+  auto p = f.plan({{0, 4, 8, 2}, {0, 0, 8, 2}, {1, 10, 8, 4}, {1, 6, 8, 4}});
+  const auto r = f.lb.most_accurate_first(p, 120.0, f.mult);
+  for (int gi = 0; gi < 4; ++gi) {
+    for (int task = 0; task < f.graph.num_tasks(); ++task) {
+      const auto* linear = r.routes_for(gi, task);
+      const std::int32_t k = r.table_index(gi, task);
+      ASSERT_EQ(linear == nullptr, k < 0);
+      if (linear == nullptr) continue;
+      const auto table = r.table_at(k);
+      ASSERT_EQ(table.size, linear->size());
+      for (int i = 0; i < 4000; ++i) {
+        const double d = i / 4000.0;
+        ASSERT_EQ(table.pick(d), pick_route(*linear, d))
+            << "group " << gi << " task " << task << " draw " << d;
+      }
+    }
+  }
 }
 
 }  // namespace

