@@ -4,12 +4,14 @@
 // plot-ready CSVs next to its stdout summary.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
 #include "common/csv.hpp"
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
 #include "serving/metrics.hpp"
 
 namespace loki::bench {
@@ -47,6 +49,27 @@ inline void write_timeseries_csv(const std::string& path,
     const double a = i < acc.size() ? acc[i].v : 0.0;
     const double v = i < viol.size() ? viol[i].v : 0.0;
     table.add_row({tw, demand[i].v, a, u, v});
+  }
+  table.write(path);
+  std::printf("  wrote %s (%zu rows)\n", path.c_str(), table.rows());
+}
+
+/// Writes the per-stage latency attribution of one run (the serving.lat.*
+/// histograms the sampled tracer fills): count, mean and p50/p90/p99 per
+/// stage, in milliseconds. Rows appear in pipeline order: queue -> batch ->
+/// execute -> swap_stall -> comm, then the end-to-end total.
+inline void write_stage_breakdown_csv(const std::string& path,
+                                      const obs::Snapshot& snap,
+                                      const std::string& prefix = "serving") {
+  CsvTable table({"stage", "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms"});
+  for (const char* stage :
+       {"queue", "batch", "execute", "swap_stall", "comm", "e2e"}) {
+    const obs::HistogramStats* h =
+        snap.find_histogram(prefix + ".lat." + stage);
+    if (h == nullptr) continue;
+    table.add_row({std::string(stage), static_cast<std::int64_t>(h->count),
+                   h->mean() / 1e6, h->quantile(0.50) / 1e6,
+                   h->quantile(0.90) / 1e6, h->quantile(0.99) / 1e6});
   }
   table.write(path);
   std::printf("  wrote %s (%zu rows)\n", path.c_str(), table.rows());

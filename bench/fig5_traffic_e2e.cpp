@@ -75,6 +75,12 @@ int main(int argc, char** argv) {
     bench::write_timeseries_csv(
         bench::output_dir() + "/fig5_traffic_" + r.system_name + ".csv",
         r.metrics);
+    // Per-stage latency attribution from the always-on sampled tracer:
+    // where the latency budget went (queue / batch / execute / swap / comm)
+    // under this system's allocation policy.
+    bench::write_stage_breakdown_csv(
+        bench::output_dir() + "/fig5_stages_" + r.system_name + ".csv",
+        r.obs);
   }
 
   const auto& loki_r = results[0];

@@ -73,6 +73,9 @@ int main(int argc, char** argv) {
     bench::write_timeseries_csv(
         bench::output_dir() + "/fig6_social_" + r.system_name + ".csv",
         r.metrics);
+    bench::write_stage_breakdown_csv(
+        bench::output_dir() + "/fig6_stages_" + r.system_name + ".csv",
+        r.obs);
   }
 
   const auto& loki_r = results[0];

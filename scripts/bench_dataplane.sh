@@ -61,6 +61,8 @@ fi
 
 "$build_dir/bm_dataplane" "${bench_args[@]}"
 
+scripts/stamp_bench_version.py "$out_json"
+
 if [[ "$rebaseline" == 1 ]]; then
   cp "$out_json" bench/BENCH_dataplane_baseline.json
   echo "rebaselined bench/BENCH_dataplane_baseline.json from $out_json"

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Observability overhead runner: builds bm_obs in Release, runs the BM_Obs*
+# suite (hot-path counter/histogram adds, registry snapshot cost, the
+# 96-worker serving e2e epoch with tracing off vs on, and the paired
+# overhead gate), writes BENCH_obs.json (google-benchmark format plus the
+# top-level schema "version"), and gates the result with
+# check_bench_regression.py --suite obs:
+#   * BM_ObsOverheadGate.bit_identical must be 1 — tracing on/off left every
+#     simulation metric bit-identical (the passivity invariant);
+#   * BM_ObsOverheadGate.overhead_frac (paired tracing-on vs tracing-off
+#     wall time, host drift hits both arms) must stay within 3%;
+#   * per-benchmark items_per_second vs bench/BENCH_obs_baseline.json with
+#     the same wide slack as the other wall-clock suites.
+#
+# Usage: scripts/bench_obs.sh [--quick] [--rebaseline] [output.json]
+#   --quick       one repetition, short min-time (CI smoke; noisy numbers)
+#   --rebaseline  copy the fresh report over the committed baseline instead
+#                 of gating against it
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+rebaseline=0
+out_json="BENCH_obs.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --rebaseline) rebaseline=1 ;;
+    *.json) out_json="$arg" ;;
+    *) echo "usage: $0 [--quick] [--rebaseline] [output.json]" >&2; exit 2 ;;
+  esac
+done
+
+build_dir="${BENCH_BUILD_DIR:-build-release}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+if ! cmake --build "$build_dir" -j "$jobs" --target bm_obs 2>/dev/null
+then
+  echo "bench targets unavailable (Google Benchmark not installed?)" >&2
+  exit 3
+fi
+
+bench_args=(--benchmark_filter='^BM_Obs'
+            --benchmark_out="$out_json" --benchmark_out_format=json)
+if [[ "$quick" == 1 ]]; then
+  # google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
+  # deprecates the bare double; older releases reject the suffix outright.
+  if "$build_dir/bm_obs" --benchmark_min_time=0.01s \
+       --benchmark_list_tests >/dev/null 2>&1; then
+    bench_args+=(--benchmark_min_time=0.01s)
+  else
+    bench_args+=(--benchmark_min_time=0.01)
+  fi
+else
+  bench_args+=(--benchmark_repetitions=3
+               --benchmark_report_aggregates_only=true)
+fi
+
+# The MILP node budget must be deterministic so the paired epochs solve the
+# same plans in both arms.
+LOKI_MILP_NO_TIME_LIMIT=1 "$build_dir/bm_obs" "${bench_args[@]}"
+
+scripts/stamp_bench_version.py "$out_json"
+
+if [[ "$rebaseline" == 1 ]]; then
+  cp "$out_json" bench/BENCH_obs_baseline.json
+  echo "rebaselined bench/BENCH_obs_baseline.json from $out_json"
+else
+  # The overhead + passivity checks run even on --quick (they are about
+  # ratios and exact metric equality, not absolute wall time); only the
+  # cross-run throughput comparison is skipped for quick runs.
+  gate_args=(--suite obs)
+  if [[ "$quick" == 1 ]]; then
+    gate_args+=(--max-regress 1000000)
+    echo "(--quick run: throughput floor disabled; gating overhead only)"
+  fi
+  python3 scripts/check_bench_regression.py "$out_json" "${gate_args[@]}"
+fi

@@ -60,6 +60,8 @@ fi
 
 "$build_dir/bm_dataplane" "${bench_args[@]}"
 
+scripts/stamp_bench_version.py "$out_json"
+
 if [[ "$rebaseline" == 1 ]]; then
   cp "$out_json" bench/BENCH_serving_baseline.json
   echo "rebaselined bench/BENCH_serving_baseline.json from $out_json"

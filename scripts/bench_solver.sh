@@ -105,3 +105,5 @@ with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
 print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
 PYEOF
+
+scripts/stamp_bench_version.py "$out_json"

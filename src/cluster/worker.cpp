@@ -66,12 +66,16 @@ std::vector<WorkItem> Worker::assign(int task, int variant,
     stage_.swap_stall_s += model_->load_time_s;
     load_event_ = sim_->schedule_after(model_->load_time_s, [this]() {
       loading_ = false;
+      load_done_t_ = sim_->now();
+      if (!busy_) free_since_ = load_done_t_;
       load_event_ = {};
       publish_load();
       maybe_start_batch();
     });
   } else {
     loading_ = false;
+    load_done_t_ = sim_->now();
+    if (!busy_) free_since_ = load_done_t_;
   }
   publish_load();
   return flushed;
@@ -128,6 +132,17 @@ void Worker::start_batch() {
     WorkItem item = queue_.front();
     queue_.pop_front();
     stage_.queue_wait_s += now - item.enqueue_time;
+    if (tracer_ != nullptr && tracer_->sampled(item.query_id)) {
+      // Decompose the wait: stalled behind a model load until load_done_t_,
+      // held while the worker sat idle filling the micro-batch after
+      // free_since_, queued behind earlier batches in between.
+      const double wait = now - item.enqueue_time;
+      const double swap =
+          std::clamp(load_done_t_ - item.enqueue_time, 0.0, wait);
+      const double hold = std::clamp(
+          now - std::max(free_since_, item.enqueue_time), 0.0, wait - swap);
+      tracer_->add_wait(item.query_id, wait - swap - hold, hold, swap);
+    }
     if (drop_filter_ && drop_filter_(*this, item)) {
       dropped.push_back(item);
     } else {
@@ -158,14 +173,22 @@ void Worker::start_batch() {
   // Snapshot the configuration executing this batch: a mid-batch
   // reassignment must not change how the completed work is attributed.
   const BatchContext ctx{task_, variant_, max_batch_, model_};
-  sim_->schedule_after(exec, [this, ctx, batch = std::move(batch)]() mutable {
-    busy_ = false;
-    inflight_ = 0;
-    publish_load();
-    if (on_batch_done_) on_batch_done_(*this, batch, ctx);
-    recycle_scratch(std::move(batch));
-    maybe_start_batch();
-  });
+  sim_->schedule_after(
+      exec, [this, ctx, exec, batch = std::move(batch)]() mutable {
+        busy_ = false;
+        inflight_ = 0;
+        free_since_ = sim_->now();
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          // Every item in the batch experienced the full batch latency.
+          for (const auto& item : batch) {
+            tracer_->add_execute(item.query_id, exec);
+          }
+        }
+        publish_load();
+        if (on_batch_done_) on_batch_done_(*this, batch, ctx);
+        recycle_scratch(std::move(batch));
+        maybe_start_batch();
+      });
 }
 
 }  // namespace loki::cluster

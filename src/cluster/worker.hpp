@@ -29,6 +29,7 @@
 #include "common/check.hpp"
 #include "common/pool.hpp"
 #include "common/small_function.hpp"
+#include "obs/trace.hpp"
 #include "profile/variant.hpp"
 #include "sim/simulation.hpp"
 
@@ -47,11 +48,13 @@ struct WorkItem {
   double debt_s = 0.0;
 };
 
-/// Per-stage hot-path counters (queue -> batch -> execute -> swap), the seed
-/// of ROADMAP item 5's observability layer. Updates are plain adds on state
-/// the batching path already touches (self-measured overhead is reported by
-/// BM_ServingStageCounterOverhead); aggregation over a cluster is the
-/// serving runtime's job.
+/// Per-stage hot-path counters (queue -> batch -> execute -> swap). Updates
+/// are plain adds on state the batching path already touches (self-measured
+/// overhead is reported by BM_ServingStageCounterOverhead); aggregation over
+/// a cluster is the serving runtime's job, which also publishes deltas into
+/// the obs::Registry (pull model — the hot path never touches an atomic).
+/// Semantics: monotonically non-decreasing for the worker's lifetime;
+/// reassignments and plan re-installs never reset them.
 struct StageCounters {
   /// Queue stage: items that entered a worker queue, and their summed
   /// simulated wait between enqueue and batch formation.
@@ -127,6 +130,11 @@ class Worker {
   /// planning time, exposed here at the worker level.
   void set_batch_wait(double seconds) { batch_wait_s_ = seconds; }
   double batch_wait_s() const { return batch_wait_s_; }
+
+  /// Installs the sampled per-request tracer (may be nullptr = off). The
+  /// worker only *records* into it — it never schedules events or draws
+  /// randomness on its behalf — so tracing cannot perturb simulation state.
+  void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
 
   /// Binds the external load cell this worker publishes its state into (the
   /// cell must outlive the worker or be re-bound). Publishes immediately.
@@ -214,6 +222,14 @@ class Worker {
   sim::Simulation::EventId load_event_{};
   sim::Simulation::EventId wait_event_{};
   std::uint32_t* load_cell_ = nullptr;
+
+  /// Wait-decomposition timestamps for the tracer: when the worker last
+  /// became idle (not busy, not loading) and when its most recent model load
+  /// finished. An item's wait splits into swap stall (before load_done_t_),
+  /// micro-batch hold (after free_since_) and queue time (the rest).
+  double free_since_ = 0.0;
+  double load_done_t_ = 0.0;
+  obs::QueryTracer* tracer_ = nullptr;
 
   BatchDoneFn on_batch_done_;
   DroppedFn on_dropped_;

@@ -1,0 +1,31 @@
+// Clock shim for the observability layer: one place that answers "what time
+// is it really" so instrumented code never hard-codes a clock source.
+//
+// Two time domains coexist in this codebase:
+//   * sim-time   (sim::Simulation::now(), double seconds) — what per-request
+//     stage attribution records inside simulations, so traces stay
+//     bit-reproducible and free of host jitter;
+//   * steady wall time (this header) — what self-measurement uses (registry
+//     snapshot cost, tracing-on vs tracing-off bench pairs), where real
+//     nanoseconds are the point.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace loki {
+
+/// Monotonic wall-clock nanoseconds (epoch unspecified; differences only).
+inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds between two steady_now_ns() readings.
+inline double steady_elapsed_s(std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  return static_cast<double>(t1_ns - t0_ns) * 1e-9;
+}
+
+}  // namespace loki

@@ -1,0 +1,34 @@
+// Cache-line-padded primitives for concurrent counters (ROADMAP item 5's
+// observability layer). A metric registry hands out long-lived pointers to
+// these cells; padding each writer-owned cell to its own cache line keeps
+// unrelated counters from false-sharing when shard threads bump them
+// concurrently (the HPCToolkit-style "measurement must not perturb the
+// measured system" discipline).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace loki {
+
+/// The alignment/padding quantum. std::hardware_destructive_interference_size
+/// is still patchy across toolchains (and ABI-unstable under -Werror on some
+/// GCCs), so the conventional 64 bytes is pinned explicitly.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// One cache line holding a single atomic 64-bit counter. All registry
+/// counter updates are relaxed: counters are statistics, not synchronization
+/// — readers snapshot monotonically-growing values and never establish
+/// happens-before through them.
+struct alignas(kCacheLineBytes) PaddedAtomicU64 {
+  std::atomic<std::uint64_t> v{0};
+
+  void add(std::uint64_t n) { v.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t load() const { return v.load(std::memory_order_relaxed); }
+};
+
+static_assert(sizeof(PaddedAtomicU64) == kCacheLineBytes,
+              "counter cells must tile cache lines exactly");
+
+}  // namespace loki

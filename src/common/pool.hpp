@@ -117,6 +117,14 @@ class SlabPool {
   std::size_t live_ = 0;
 };
 
+/// Slot index of a HandlePool handle. Free function (the layout does not
+/// depend on T) so handle-keyed side structures — e.g. the observability
+/// layer's deterministic 1-in-N query sampling — can derive slot keys
+/// without naming the pool's element type.
+inline std::uint32_t pool_handle_slot(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h >> 32) - 1;
+}
+
 /// SlabPool plus generation-checked 64-bit handles. Handle layout:
 /// (slot + 1) << 32 | generation, so 0 is never a valid handle. A slot's
 /// generation bumps on erase; find() on a stale handle returns nullptr (the
@@ -164,9 +172,7 @@ class HandlePool {
 
   /// Slot-level access for index-keyed side structures (e.g. the event
   /// queue's heap stores 32-bit slots, not 64-bit handles).
-  static std::uint32_t slot_of(Handle h) {
-    return static_cast<std::uint32_t>(h >> 32) - 1;
-  }
+  static std::uint32_t slot_of(Handle h) { return pool_handle_slot(h); }
   /// Two-phase erase for fire-in-place patterns: invalidate_slot() makes
   /// every outstanding handle stale *now* (find() -> nullptr) while the
   /// object stays constructed; release_slot() destroys it and recycles the

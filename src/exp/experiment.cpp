@@ -73,7 +73,77 @@ std::unique_ptr<serving::AllocationStrategy> make_strategy(
   return make_strategy(to_string(kind), cfg, graph, profiles);
 }
 
+WeightedInterleave::WeightedInterleave(std::vector<double> weights)
+    : weights_(std::move(weights)), assigned_(weights_.size(), 0.0) {
+  LOKI_CHECK(!weights_.empty());
+  double total = 0.0;
+  for (double w : weights_) {
+    LOKI_CHECK_MSG(w > 0.0, "interleave weights must be positive");
+    total += w;
+  }
+  for (double& w : weights_) w /= total;
+}
+
+std::size_t WeightedInterleave::next() {
+  ++step_;
+  const double t = static_cast<double>(step_);
+  std::size_t best = 0;
+  double best_deficit = weights_[0] * t - assigned_[0];
+  for (std::size_t i = 1; i < weights_.size(); ++i) {
+    const double deficit = weights_[i] * t - assigned_[i];
+    if (deficit > best_deficit) {
+      best_deficit = deficit;
+      best = i;
+    }
+  }
+  assigned_[best] += 1.0;
+  return best;
+}
+
 namespace {
+
+/// Per-shard worker counts: floor(cluster / K) plus one for the first
+/// cluster % K shards — the same split both parallel modes already used.
+std::vector<int> shard_shares(int cluster, std::size_t shards) {
+  std::vector<int> share(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    share[s] = cluster / static_cast<int>(shards) +
+               (static_cast<int>(s) < cluster % static_cast<int>(shards) ? 1
+                                                                         : 0);
+  }
+  return share;
+}
+
+/// Partitions the arrival sequence across shards: round-robin (the
+/// bit-reproducible reference) or share-weighted interleave. Also publishes
+/// each shard's observed-demand counter (exp.shard<k>.arrivals).
+std::vector<std::vector<double>> partition_arrivals(
+    const trace::DemandCurve& curve, const ExperimentConfig& cfg,
+    const std::vector<int>& share, obs::Registry* registry) {
+  const std::size_t shards = share.size();
+  std::vector<std::vector<double>> shard_arrivals(shards);
+  trace::ArrivalStream stream(curve, cfg.arrivals);
+  if (cfg.sim_weighted_split) {
+    std::vector<double> weights(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      weights[s] = static_cast<double>(share[s]);
+    }
+    WeightedInterleave interleave(std::move(weights));
+    for (double t = stream.next(); t >= 0.0; t = stream.next()) {
+      shard_arrivals[interleave.next()].push_back(t);
+    }
+  } else {
+    std::size_t j = 0;
+    for (double t = stream.next(); t >= 0.0; t = stream.next(), ++j) {
+      shard_arrivals[j % shards].push_back(t);
+    }
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    registry->counter("exp.shard" + std::to_string(s) + ".arrivals")
+        .add(shard_arrivals[s].size());
+  }
+  return shard_arrivals;
+}
 
 ExperimentResult result_from_metrics(const std::string& name,
                                      const serving::Metrics& m,
@@ -100,19 +170,15 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
                                         const trace::DemandCurve& curve,
                                         const ExperimentConfig& cfg,
                                         const serving::ProfileTable& profiles,
-                                        std::size_t shards) {
-  // Round-robin partition of the *same* arrival sequence the sequential
-  // reference uses: arrival j goes to shard j % K, so the total arrival
-  // count matches the sequential run exactly and each shard sees ~1/K of
-  // the demand at every point in time.
-  std::vector<std::vector<double>> shard_arrivals(shards);
-  {
-    trace::ArrivalStream stream(curve, cfg.arrivals);
-    std::size_t j = 0;
-    for (double t = stream.next(); t >= 0.0; t = stream.next(), ++j) {
-      shard_arrivals[j % shards].push_back(t);
-    }
-  }
+                                        std::size_t shards,
+                                        obs::Registry* registry) {
+  // Partition of the *same* arrival sequence the sequential reference uses
+  // (round-robin, or share-weighted with sim_weighted_split), so the total
+  // arrival count matches the sequential run exactly.
+  const int cluster = cfg.system_cfg.allocator.cluster_size;
+  const std::vector<int> share = shard_shares(cluster, shards);
+  std::vector<std::vector<double>> shard_arrivals =
+      partition_arrivals(curve, cfg, share, registry);
 
   sim::ParallelSimulation::Config pcfg;
   pcfg.shards = shards;
@@ -122,18 +188,14 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
   // Each shard gets a proportional slice of the cluster (remainder to the
   // first shards) and its own strategy + serving system + RNG streams
   // (decorrelated seeds: shards model disjoint replica groups).
-  const int cluster = cfg.system_cfg.allocator.cluster_size;
   std::vector<std::unique_ptr<serving::AllocationStrategy>> strategies;
   std::vector<std::unique_ptr<serving::ServingSystem>> systems;
   for (std::size_t s = 0; s < shards; ++s) {
     serving::SystemConfig scfg = cfg.system_cfg;
-    const int share = cluster / static_cast<int>(shards) +
-                      (static_cast<int>(s) <
-                               cluster % static_cast<int>(shards)
-                           ? 1
-                           : 0);
-    scfg.allocator.cluster_size = share;
+    scfg.allocator.cluster_size = share[s];
     scfg.seed = cfg.system_cfg.seed + 1000003 * (s + 1);
+    scfg.registry = registry;
+    scfg.trace = cfg.obs_trace;
     strategies.push_back(
         make_strategy(cfg.system, scfg.allocator, &graph, profiles));
     systems.push_back(std::make_unique<serving::ServingSystem>(
@@ -190,15 +252,11 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
 ExperimentResult run_experiment_coordinated(
     const pipeline::PipelineGraph& graph, const trace::DemandCurve& curve,
     const ExperimentConfig& cfg, const serving::ProfileTable& profiles,
-    std::size_t shards) {
-  std::vector<std::vector<double>> shard_arrivals(shards);
-  {
-    trace::ArrivalStream stream(curve, cfg.arrivals);
-    std::size_t j = 0;
-    for (double t = stream.next(); t >= 0.0; t = stream.next(), ++j) {
-      shard_arrivals[j % shards].push_back(t);
-    }
-  }
+    std::size_t shards, obs::Registry* registry) {
+  const int cluster = cfg.system_cfg.allocator.cluster_size;
+  const std::vector<int> share = shard_shares(cluster, shards);
+  std::vector<std::vector<double>> shard_arrivals =
+      partition_arrivals(curve, cfg, share, registry);
 
   sim::ParallelSimulation::Config pcfg;
   pcfg.shards = shards;
@@ -206,27 +264,54 @@ ExperimentResult run_experiment_coordinated(
   pcfg.threads = cfg.sim_threads;
   sim::ParallelSimulation psim(pcfg);
 
-  // ONE strategy, sized for the representative slice: the smallest shard's
-  // worker share. Its plan fits every shard by construction, so a single
-  // solve per control epoch serves the whole cluster — K× fewer solves than
-  // plain sharded mode, where every shard runs its own allocator. Shard
-  // systems carry no strategy of their own.
-  const int cluster = cfg.system_cfg.allocator.cluster_size;
-  const int rep_share = cluster / static_cast<int>(shards);
-  serving::AllocatorConfig rep_alloc = cfg.system_cfg.allocator;
-  rep_alloc.cluster_size = rep_share;
-  auto strategy = make_strategy(cfg.system, rep_alloc, &graph, profiles);
+  // One strategy per *distinct worker share* — at most two exist (floor and
+  // ceil of cluster / K), so a control epoch costs one or two solves for the
+  // whole cluster: still K× fewer than plain sharded mode, where every shard
+  // runs its own allocator. Round-robin split: every shard serves the same
+  // 1/K demand slice, so the representative floor-share plan is installed
+  // everywhere (a bigger shard's extra worker idles — the skew gap).
+  // Weighted split: a shard's arrival slice is proportional to its share,
+  // so each distinct share gets a plan sized for exactly the demand it
+  // receives (share / cluster of the total). Shard systems carry no
+  // strategy of their own.
+  std::vector<int> plan_shares;    // distinct shares, one plan each
+  std::vector<double> plan_fracs;  // demand fraction that share serves
+  if (cfg.sim_weighted_split) {
+    for (int s : share) {
+      if (std::find(plan_shares.begin(), plan_shares.end(), s) ==
+          plan_shares.end()) {
+        plan_shares.push_back(s);
+        plan_fracs.push_back(static_cast<double>(s) /
+                             static_cast<double>(cluster));
+      }
+    }
+  } else {
+    plan_shares.push_back(cluster / static_cast<int>(shards));
+    plan_fracs.push_back(1.0 / static_cast<double>(shards));
+  }
+  std::vector<std::unique_ptr<serving::AllocationStrategy>> strategies;
+  for (int ps : plan_shares) {
+    serving::AllocatorConfig alloc = cfg.system_cfg.allocator;
+    alloc.cluster_size = ps;
+    strategies.push_back(make_strategy(cfg.system, alloc, &graph, profiles));
+  }
+  // Shard -> plan index (0 everywhere in round-robin mode).
+  std::vector<std::size_t> shard_plan(shards, 0);
+  if (cfg.sim_weighted_split) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      shard_plan[s] = static_cast<std::size_t>(
+          std::find(plan_shares.begin(), plan_shares.end(), share[s]) -
+          plan_shares.begin());
+    }
+  }
 
   std::vector<std::unique_ptr<serving::ServingSystem>> systems;
   for (std::size_t s = 0; s < shards; ++s) {
     serving::SystemConfig scfg = cfg.system_cfg;
-    const int share = cluster / static_cast<int>(shards) +
-                      (static_cast<int>(s) <
-                               cluster % static_cast<int>(shards)
-                           ? 1
-                           : 0);
-    scfg.allocator.cluster_size = share;
+    scfg.allocator.cluster_size = share[s];
     scfg.seed = cfg.system_cfg.seed + 1000003 * (s + 1);
+    scfg.registry = registry;
+    scfg.trace = cfg.obs_trace;
     systems.push_back(std::make_unique<serving::ServingSystem>(
         &psim.shard(s), &graph, profiles, /*strategy=*/nullptr, scfg));
   }
@@ -240,59 +325,70 @@ ExperimentResult run_experiment_coordinated(
   double last_demand = 0.0;
   bool have_plan = false;
   double next_replan = 0.0;
-  serving::AllocationPlan rep_plan;
+  std::vector<serving::AllocationPlan> plans(plan_shares.size());
 
   auto replan = [&](double now, bool force) {
     double demand = 0.0;
     for (auto& system : systems) demand += system->demand_estimate_now();
     if (have_plan && !force) {
+      double min_served = 1.0;
+      for (const auto& p : plans) {
+        min_served = std::min(min_served, p.served_fraction);
+      }
       const double rel = std::abs(demand - last_demand) /
                          std::max(last_demand, 10.0);
-      if (rel < cfg.system_cfg.realloc_threshold &&
-          rep_plan.served_fraction >= 1.0) {
+      if (rel < cfg.system_cfg.realloc_threshold && min_served >= 1.0) {
         return;
       }
     }
     const double inv_shards = 1.0 / static_cast<double>(shards);
-    serving::PlanRequest req;
-    req.demand_qps = demand * inv_shards;  // the representative slice
     // Merge multiplicative-factor estimates: shards observe the same
     // underlying pipeline, so the mean is the natural pooled estimate.
-    req.mult = systems[0]->mult_estimates();
+    pipeline::MultFactorTable mult = systems[0]->mult_estimates();
     for (std::size_t s = 1; s < shards; ++s) {
       const auto& m = systems[s]->mult_estimates();
-      for (std::size_t t = 0; t < req.mult.size(); ++t) {
-        for (std::size_t k = 0; k < req.mult[t].size(); ++k) {
-          req.mult[t][k] += m[t][k];
+      for (std::size_t t = 0; t < mult.size(); ++t) {
+        for (std::size_t k = 0; k < mult[t].size(); ++k) {
+          mult[t][k] += m[t][k];
         }
       }
     }
-    for (auto& row : req.mult) {
+    for (auto& row : mult) {
       for (auto& v : row) v *= inv_shards;
     }
-    // Merge per-task arrival rates (sums of disjoint slices), then scale
-    // back down to the slice the plan is sized for.
-    req.task_arrivals_qps.assign(
-        static_cast<std::size_t>(graph.num_tasks()), 0.0);
+    // Drain each shard's per-task arrival-rate window exactly once per
+    // epoch (draining resets it), then build every share's request from the
+    // same observations.
+    std::vector<std::vector<double>> sys_rates;
+    sys_rates.reserve(shards);
     for (auto& system : systems) {
-      const auto rates = system->drain_task_arrivals_now();
-      for (std::size_t t = 0; t < rates.size(); ++t) {
-        req.task_arrivals_qps[t] += rates[t] * inv_shards;
-      }
+      sys_rates.push_back(system->drain_task_arrivals_now());
     }
-    req.sim_time_s = now;
-    req.epoch = allocations;
-    req.previous_plan = have_plan ? &rep_plan : nullptr;
-    serving::PlanResult result = strategy->plan(req);
-    rep_plan = std::move(result.plan);
-    solve_s += rep_plan.solve_time_s;
-    ++allocations;
+    for (std::size_t pi = 0; pi < plan_shares.size(); ++pi) {
+      serving::PlanRequest req;
+      req.demand_qps = demand * plan_fracs[pi];
+      req.mult = mult;
+      req.task_arrivals_qps.assign(
+          static_cast<std::size_t>(graph.num_tasks()), 0.0);
+      for (const auto& rates : sys_rates) {
+        for (std::size_t t = 0; t < rates.size(); ++t) {
+          req.task_arrivals_qps[t] += rates[t] * plan_fracs[pi];
+        }
+      }
+      req.sim_time_s = now;
+      req.epoch = allocations;
+      req.previous_plan = have_plan ? &plans[pi] : nullptr;
+      serving::PlanResult result = strategies[pi]->plan(req);
+      plans[pi] = std::move(result.plan);
+      solve_s += plans[pi].solve_time_s;
+      ++allocations;
+    }
     have_plan = true;
     last_demand = demand;
-    for (auto& system : systems) {
-      serving::AllocationPlan sub = rep_plan;
+    for (std::size_t s = 0; s < shards; ++s) {
+      serving::AllocationPlan sub = plans[shard_plan[s]];
       sub.solve_time_s = 0.0;  // the coordinator accounts the solve once
-      system->install_plan(std::move(sub));
+      systems[s]->install_plan(std::move(sub));
     }
   };
 
@@ -336,7 +432,8 @@ ExperimentResult run_experiment_coordinated(
     systems[s]->finish(t_end);
     merged.merge(systems[s]->metrics());
   }
-  return result_from_metrics(strategy->name(), merged, solve_s, allocations);
+  return result_from_metrics(strategies.front()->name(), merged, solve_s,
+                             allocations);
 }
 
 }  // namespace
@@ -357,39 +454,53 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
                       std::max(1, graph.num_tasks())));
   const std::size_t shards =
       std::min(std::max<std::size_t>(1, cfg.sim_shards), max_shards);
+
+  // One registry per run: concurrent run_experiment calls (e.g. the fig5
+  // bench runs three systems on a thread pool) must not mix series. All of
+  // a run's shard systems share it, so stage histograms and counters merge
+  // cluster-wide.
+  obs::Registry registry;
+  ExperimentResult out;
   if (shards > 1) {
-    return cfg.sim_coordinated
-               ? run_experiment_coordinated(graph, curve, cfg, profiles,
-                                            shards)
-               : run_experiment_sharded(graph, curve, cfg, profiles, shards);
+    out = cfg.sim_coordinated
+              ? run_experiment_coordinated(graph, curve, cfg, profiles,
+                                           shards, &registry)
+              : run_experiment_sharded(graph, curve, cfg, profiles, shards,
+                                       &registry);
+  } else {
+    auto strategy = make_strategy(cfg.system, cfg.system_cfg.allocator,
+                                  &graph, profiles);
+
+    sim::Simulation sim;
+    serving::SystemConfig scfg = cfg.system_cfg;
+    scfg.registry = &registry;
+    scfg.trace = cfg.obs_trace;
+    serving::ServingSystem system(&sim, &graph, profiles, strategy.get(),
+                                  scfg);
+    system.start();
+
+    // Stream arrivals: each arrival event submits and schedules the next
+    // one, keeping the event queue O(in-flight) instead of O(trace).
+    trace::ArrivalStream stream(curve, cfg.arrivals);
+    std::function<void()> pump = [&]() {
+      system.submit();
+      const double next = stream.next();
+      if (next >= 0.0) sim.schedule_at(next, pump);
+    };
+    const double first = stream.next();
+    if (first >= 0.0) sim.schedule_at(first, pump);
+
+    const double t_end = curve.duration_s() + cfg.drain_s;
+    sim.run_until(t_end);
+    system.finish(t_end);
+
+    out = result_from_metrics(strategy->name(), system.metrics(),
+                              system.total_solve_time_s(),
+                              system.allocations_performed());
   }
-
-  auto strategy = make_strategy(cfg.system, cfg.system_cfg.allocator, &graph,
-                                profiles);
-
-  sim::Simulation sim;
-  serving::ServingSystem system(&sim, &graph, profiles, strategy.get(),
-                                cfg.system_cfg);
-  system.start();
-
-  // Stream arrivals: each arrival event submits and schedules the next one,
-  // keeping the event queue O(in-flight) instead of O(trace).
-  trace::ArrivalStream stream(curve, cfg.arrivals);
-  std::function<void()> pump = [&]() {
-    system.submit();
-    const double next = stream.next();
-    if (next >= 0.0) sim.schedule_at(next, pump);
-  };
-  const double first = stream.next();
-  if (first >= 0.0) sim.schedule_at(first, pump);
-
-  const double t_end = curve.duration_s() + cfg.drain_s;
-  sim.run_until(t_end);
-  system.finish(t_end);
-
-  return result_from_metrics(strategy->name(), system.metrics(),
-                             system.total_solve_time_s(),
-                             system.allocations_performed());
+  out.obs = registry.snapshot();
+  if (!cfg.obs_csv_path.empty()) out.obs.write_csv(cfg.obs_csv_path);
+  return out;
 }
 
 PlanProbe probe_plan(serving::AllocationStrategy& strategy,

@@ -4,9 +4,12 @@
 // planner-level capacity search used by the Fig. 1 reproduction.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/registry.hpp"
 #include "pipeline/graph.hpp"
 #include "serving/system.hpp"
 #include "trace/arrivals.hpp"
@@ -76,6 +79,21 @@ struct ExperimentConfig {
   bool sim_coordinated = false;
   /// Worker threads for parallel mode (0 = min(shards, hw concurrency)).
   std::size_t sim_threads = 0;
+  /// Weighted shard splits (parallel modes): partition arrivals across
+  /// shards by per-shard worker share via a deterministic weighted
+  /// interleave (WeightedInterleave below) instead of round-robin. With
+  /// cluster_size % sim_shards == 0 every share is equal and the partition
+  /// reduces exactly to round-robin (differential-tested bit-identical);
+  /// with skewed shares a bigger shard receives proportionally more
+  /// arrivals, and coordinated mode plans each distinct share for its own
+  /// share-proportional demand slice instead of assuming 1/K everywhere —
+  /// the per-shard demand-skew gap of ROADMAP item 2.
+  bool sim_weighted_split = false;
+  /// Observability (src/obs): per-request trace sampling forwarded to every
+  /// serving system (always-on by default; the registry itself is created
+  /// per run), and an optional path to CSV-export the final snapshot.
+  obs::TraceOptions obs_trace;
+  std::string obs_csv_path;
 };
 
 struct ExperimentResult {
@@ -90,12 +108,36 @@ struct ExperimentResult {
   double total_solve_time_s = 0.0;
   int allocations = 0;
   serving::Metrics metrics;  // full timeseries for figure output
+  /// Final snapshot of the run's metric registry: cluster-wide stage
+  /// counters (serving.stage.*), per-request stage latency histograms
+  /// (serving.lat.*), per-shard observed demand (exp.shard<k>.arrivals) and
+  /// the registry's self-measured snapshot cost (obs.self.*).
+  obs::Snapshot obs;
 };
 
 /// Runs one system against one demand curve.
 ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
                                 const trace::DemandCurve& curve,
                                 const ExperimentConfig& cfg);
+
+/// Deterministic weighted interleave: item j (1-based) goes to the shard
+/// with the largest weighted deficit w_i * j - n_i, ties to the lowest
+/// index, where n_i counts items already assigned to shard i. Every prefix
+/// of the assignment tracks the weights to within one item per shard, and
+/// equal weights reduce exactly to round-robin (0, 1, ..., K-1, 0, ...) —
+/// the property the weighted-split differential test pins.
+class WeightedInterleave {
+ public:
+  /// `weights` must be positive; they are normalized internally.
+  explicit WeightedInterleave(std::vector<double> weights);
+  /// Shard index for the next item.
+  std::size_t next();
+
+ private:
+  std::vector<double> weights_;   // normalized to sum 1
+  std::vector<double> assigned_;  // items handed to each shard so far
+  std::uint64_t step_ = 0;
+};
 
 /// Planner-level capacity probe: the allocation plan Loki would produce for
 /// a constant demand (no simulation). Used by the Fig. 1 sweep.

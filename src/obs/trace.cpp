@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include "common/check.hpp"
+
+namespace loki::obs {
+
+QueryTracer::QueryTracer(Registry* registry, const std::string& prefix,
+                         TraceOptions opt)
+    : enabled_(opt.enabled) {
+  LOKI_CHECK(registry != nullptr);
+  std::uint32_t period = 1;
+  while (period * 2 <= opt.sample_period) period *= 2;
+  mask_ = period - 1;
+  shift_ = 0;
+  while ((std::uint32_t{1} << shift_) < period) ++shift_;
+  if (!enabled_) return;
+  h_queue_ = registry->histogram(prefix + ".lat.queue");
+  h_batch_ = registry->histogram(prefix + ".lat.batch");
+  h_execute_ = registry->histogram(prefix + ".lat.execute");
+  h_swap_ = registry->histogram(prefix + ".lat.swap_stall");
+  h_comm_ = registry->histogram(prefix + ".lat.comm");
+  h_e2e_ = registry->histogram(prefix + ".lat.e2e");
+  c_sampled_ = registry->counter(prefix + ".trace.sampled");
+  c_completed_ = registry->counter(prefix + ".trace.completed");
+  c_dropped_ = registry->counter(prefix + ".trace.dropped");
+}
+
+void QueryTracer::on_admit(std::uint64_t query_id, double now_s) {
+  if (!sampled(query_id)) return;
+  Record* r = record_for(query_id);
+  *r = Record{};
+  r->query_id = query_id;
+  r->admit_t = now_s;
+  c_sampled_.add(1);
+}
+
+void QueryTracer::add_wait(std::uint64_t query_id, double queue_s,
+                           double batch_s, double swap_s) {
+  if (!sampled(query_id)) return;
+  Record* r = record_for(query_id);
+  if (r->query_id != query_id) return;  // stale: admitted before this tracer
+  r->queue_s += queue_s;
+  r->batch_s += batch_s;
+  r->swap_s += swap_s;
+}
+
+void QueryTracer::add_execute(std::uint64_t query_id, double exec_s) {
+  if (!sampled(query_id)) return;
+  Record* r = record_for(query_id);
+  if (r->query_id != query_id) return;
+  r->execute_s += exec_s;
+}
+
+void QueryTracer::add_comm(std::uint64_t query_id, double comm_s) {
+  if (!sampled(query_id)) return;
+  Record* r = record_for(query_id);
+  if (r->query_id != query_id) return;
+  r->comm_s += comm_s;
+}
+
+void QueryTracer::on_complete(std::uint64_t query_id, double now_s,
+                              bool dropped) {
+  if (!sampled(query_id)) return;
+  Record* r = record_for(query_id);
+  if (r->query_id != query_id) return;
+  h_queue_.add(to_ns(r->queue_s));
+  h_batch_.add(to_ns(r->batch_s));
+  h_execute_.add(to_ns(r->execute_s));
+  h_swap_.add(to_ns(r->swap_s));
+  h_comm_.add(to_ns(r->comm_s));
+  h_e2e_.add(to_ns(now_s - r->admit_t));
+  (dropped ? c_dropped_ : c_completed_).add(1);
+  r->query_id = 0;  // recycle: the slot's next generation re-admits cleanly
+}
+
+}  // namespace loki::obs

@@ -1,6 +1,7 @@
 #include "serving/system.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <limits>
 
@@ -38,6 +39,19 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
   // strategy_ may be nullptr for externally-planned systems (coordinated
   // sharding); start() / run_resource_manager() check it.
   LOKI_CHECK(sim_ && graph_);
+  obs::Registry& reg =
+      cfg_.registry != nullptr ? *cfg_.registry : obs::Registry::global();
+  tracer_ = obs::QueryTracer(&reg, cfg_.metric_prefix, cfg_.trace);
+  c_admitted_ = reg.counter(cfg_.metric_prefix + ".admitted");
+  c_stage_enqueued_ = reg.counter(cfg_.metric_prefix + ".stage.enqueued");
+  c_stage_queue_ns_ = reg.counter(cfg_.metric_prefix + ".stage.queue_wait_ns");
+  c_stage_batches_ = reg.counter(cfg_.metric_prefix + ".stage.batches");
+  c_stage_batch_items_ =
+      reg.counter(cfg_.metric_prefix + ".stage.batch_items");
+  c_stage_execute_ns_ = reg.counter(cfg_.metric_prefix + ".stage.execute_ns");
+  c_stage_swaps_ = reg.counter(cfg_.metric_prefix + ".stage.swaps");
+  c_stage_swap_ns_ =
+      reg.counter(cfg_.metric_prefix + ".stage.swap_stall_ns");
   mult_estimates_ = pipeline::default_mult_factors(*graph_);
   obs_in_.assign(mult_estimates_.size(), {});
   obs_out_.assign(mult_estimates_.size(), {});
@@ -75,6 +89,7 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
   for (int i = 0; i < cfg_.allocator.cluster_size; ++i) {
     auto w = std::make_unique<cluster::Worker>(i, sim_);
     w->bind_load_cell(&worker_load_[static_cast<std::size_t>(i)]);
+    w->set_tracer(&tracer_);
     w->set_batch_done([this](cluster::Worker& wk,
                              std::vector<cluster::WorkItem>& items,
                              const cluster::Worker::BatchContext& ctx) {
@@ -189,6 +204,7 @@ void ServingSystem::install_plan(AllocationPlan plan) {
 void ServingSystem::finish(double t_end) {
   stopped_ = true;
   metrics_.flush(t_end);
+  publish_stage_counters();
 }
 
 int ServingSystem::active_workers() const {
@@ -200,9 +216,30 @@ int ServingSystem::active_workers() const {
 }
 
 cluster::StageCounters ServingSystem::stage_counters() const {
+  // Monotonic since construction: per-worker counters never reset (workers
+  // live for the system's lifetime, reassignment keeps their totals), so
+  // this aggregate can only grow across apply_plan / install_plan.
   cluster::StageCounters total;
   for (const auto& w : workers_) total += w->stage_counters();
   return total;
+}
+
+void ServingSystem::publish_stage_counters() {
+  const cluster::StageCounters total = stage_counters();
+  const auto ns = [](double seconds) {
+    return static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+  };
+  c_stage_enqueued_.add(total.enqueued - published_stage_.enqueued);
+  c_stage_queue_ns_.add(ns(total.queue_wait_s) -
+                        ns(published_stage_.queue_wait_s));
+  c_stage_batches_.add(total.batches - published_stage_.batches);
+  c_stage_batch_items_.add(total.batch_items - published_stage_.batch_items);
+  c_stage_execute_ns_.add(ns(total.execute_s) -
+                          ns(published_stage_.execute_s));
+  c_stage_swaps_.add(total.swaps - published_stage_.swaps);
+  c_stage_swap_ns_.add(ns(total.swap_stall_s) -
+                       ns(published_stage_.swap_stall_s));
+  published_stage_ = total;
 }
 
 double ServingSystem::comm_delay() {
@@ -271,6 +308,8 @@ void ServingSystem::submit() {
   qs.deadline = now + cfg_.allocator.slo_s;
   qs.outstanding = 1;
   qs.metered = metered;
+  c_admitted_.add(1);
+  tracer_.on_admit(qid, now);
 
   cluster::WorkItem item;
   item.query_id = qid;
@@ -348,6 +387,7 @@ void ServingSystem::forward_item(cluster::WorkItem item, int group) {
     return;
   }
   const double delay = comm_delay();
+  tracer_.add_comm(item.query_id, delay);
   sim_->schedule_after(delay, [this, item, wid]() mutable {
     auto& w = *workers_[static_cast<std::size_t>(wid)];
     if (!w.active()) {
@@ -477,6 +517,7 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
             metrics_.record_forwards(1);
             qstate->outstanding += 1;
             const double delay = comm_delay();
+            tracer_.add_comm(next.query_id, delay);
             sim_->schedule_after(delay, [this, next, alt]() mutable {
               auto& aw = *workers_[static_cast<std::size_t>(alt)];
               if (!aw.active()) {
@@ -569,6 +610,10 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
   if (qsp == nullptr) return;
   QueryState& qs = *qsp;
   if (--qs.outstanding > 0) return;
+
+  // Flush the sampled trace record for every finalized query (metered or
+  // not) so record slots recycle in lockstep with pool slots.
+  tracer_.on_complete(query_id, now, qs.dropped);
 
   const double latency = now - qs.arrival;
   if (!qs.metered) {
@@ -678,6 +723,7 @@ void ServingSystem::run_heartbeat() {
   // request (the old observe_task_demand side-channel is gone).
   metrics_.record_utilization(now, plan_.servers_used,
                               cfg_.allocator.cluster_size);
+  publish_stage_counters();
 
   // §4.2: the Resource Manager reallocates between periodic invocations
   // when it detects a significant demand change (e.g. cold start or a

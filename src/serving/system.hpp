@@ -32,6 +32,8 @@
 #include "cluster/worker.hpp"
 #include "common/pool.hpp"
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/graph.hpp"
 #include "serving/allocation.hpp"
 #include "serving/load_balancer.hpp"
@@ -88,6 +90,15 @@ struct SystemConfig {
   double batch_wait_s = 0.0;
   trace::DemandEstimatorConfig demand;
   std::uint64_t seed = 1234;
+  /// Observability (src/obs): registry receiving this system's counters and
+  /// histograms (nullptr = obs::Registry::global(); experiment drivers pass
+  /// a per-run registry so concurrent runs never mix series), the metric
+  /// name prefix, and sampled per-request stage attribution. Tracing
+  /// defaults ON — the always-on discipline of ROADMAP item 5 — and is
+  /// differential-tested to leave every simulation metric bit-identical.
+  obs::Registry* registry = nullptr;
+  std::string metric_prefix = "serving";
+  obs::TraceOptions trace;
 };
 
 class ServingSystem {
@@ -153,8 +164,16 @@ class ServingSystem {
   }
 
   /// Aggregated per-stage hot-path counters across the whole cluster
-  /// (queue wait / batching / execute / swap stalls).
+  /// (queue wait / batching / execute / swap stalls). Semantics: monotonic
+  /// since system construction — apply_plan / install_plan re-installs,
+  /// worker reassignments and deactivations never reset them, so two
+  /// snapshots straddling any number of plan changes subtract into the
+  /// exact work done in between. Deltas are also published into the
+  /// registry (<prefix>.stage.*) at every heartbeat and at finish().
   cluster::StageCounters stage_counters() const;
+
+  /// The sampled per-request tracer (for tests and coordinators).
+  const obs::QueryTracer& tracer() const { return tracer_; }
 
  private:
   struct QueryState {
@@ -216,6 +235,10 @@ class ServingSystem {
   void complete_part(std::uint64_t query_id, double now);
   double runtime_budget(int task, int variant, int batch) const;
   double comm_delay();
+  /// Publishes the delta of the aggregate stage counters since the last
+  /// publication into the registry (pull model: workers bump plain members
+  /// on the hot path; only this cold path touches atomics).
+  void publish_stage_counters();
 
   sim::Simulation* sim_;
   const pipeline::PipelineGraph* graph_;
@@ -287,6 +310,21 @@ class ServingSystem {
   Rng rng_mult_;
   Rng rng_jitter_;
   Rng rng_shed_;
+
+  /// Per-request stage attribution; shared with every worker via
+  /// set_tracer(). Histograms land in the configured registry under
+  /// cfg_.metric_prefix.
+  obs::QueryTracer tracer_;
+  /// Stage totals already pushed to the registry (delta publication).
+  cluster::StageCounters published_stage_;
+  obs::Counter c_admitted_;
+  obs::Counter c_stage_enqueued_;
+  obs::Counter c_stage_queue_ns_;
+  obs::Counter c_stage_batches_;
+  obs::Counter c_stage_batch_items_;
+  obs::Counter c_stage_execute_ns_;
+  obs::Counter c_stage_swaps_;
+  obs::Counter c_stage_swap_ns_;
 
   MetadataStore* metadata_ = nullptr;
   /// Owners of the self-rescheduling control-loop callbacks. The scheduled

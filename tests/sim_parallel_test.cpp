@@ -12,6 +12,8 @@
 //     SmallFunction callbacks must not perturb a single event ordering).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.hpp"
@@ -262,6 +264,153 @@ TEST(ParallelExperiment, ShardCountIsClampedToClusterSize) {
   const auto r = exp::run_experiment(graph, curve, cfg);
   EXPECT_GT(r.arrivals, 0u);
   EXPECT_EQ(r.metrics.completions() + r.drops, r.arrivals);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted shard splits (satellite of the observability PR; closes the
+// per-shard demand-skew gap of ROADMAP item 2)
+// ---------------------------------------------------------------------------
+
+TEST(WeightedInterleave, EqualWeightsReduceToRoundRobin) {
+  exp::WeightedInterleave wi({1.0, 1.0, 1.0});
+  for (int j = 0; j < 300; ++j) {
+    EXPECT_EQ(wi.next(), static_cast<std::size_t>(j % 3)) << "item " << j;
+  }
+}
+
+TEST(WeightedInterleave, SkewedWeightsTrackEveryPrefixWithinOneItem) {
+  const std::vector<double> w = {4.0, 3.0, 3.0};  // shares of a 10-worker pool
+  exp::WeightedInterleave wi(w);
+  std::array<double, 3> n{};
+  for (int j = 1; j <= 1000; ++j) {
+    n[wi.next()] += 1.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(n[i], w[i] / 10.0 * j, 1.0)
+          << "shard " << i << " after " << j << " items";
+    }
+  }
+}
+
+TEST(WeightedInterleave, DeterministicAcrossInstances) {
+  exp::WeightedInterleave a({2.0, 1.0});
+  exp::WeightedInterleave b({2.0, 1.0});
+  for (int j = 0; j < 200; ++j) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(WeightedSplit, EqualSharesAreBitIdenticalToRoundRobinSharded) {
+  // cluster_size 8 / 2 shards -> shares {4, 4}: the weighted interleave must
+  // reduce exactly to round-robin, so the whole run is bit-identical.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto rr = exp::run_experiment(graph, curve, diff_config(2));
+  auto wcfg = diff_config(2);
+  wcfg.sim_weighted_split = true;
+  const auto w = exp::run_experiment(graph, curve, wcfg);
+
+  EXPECT_EQ(w.arrivals, rr.arrivals);
+  EXPECT_EQ(w.drops, rr.drops);
+  EXPECT_EQ(w.metrics.completions(), rr.metrics.completions());
+  EXPECT_EQ(w.metrics.shed(), rr.metrics.shed());
+  EXPECT_DOUBLE_EQ(w.slo_violation_ratio, rr.slo_violation_ratio);
+  EXPECT_DOUBLE_EQ(w.mean_accuracy, rr.mean_accuracy);
+  EXPECT_DOUBLE_EQ(w.mean_latency_s, rr.mean_latency_s);
+  EXPECT_DOUBLE_EQ(w.p99_latency_s, rr.p99_latency_s);
+  EXPECT_DOUBLE_EQ(w.mean_servers_used, rr.mean_servers_used);
+  EXPECT_EQ(w.allocations, rr.allocations);
+}
+
+TEST(WeightedSplit, EqualSharesAreBitIdenticalToRoundRobinCoordinated) {
+  // Coordinated mode with equal shares: the per-distinct-share planning path
+  // collapses to one plan with fraction share/cluster == 1/K (the same exact
+  // binary double), so metrics must match the round-robin coordinated run
+  // bit for bit.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto rr = exp::run_experiment(graph, curve, coord_config(2, 0));
+  auto wcfg = coord_config(2, 0);
+  wcfg.sim_weighted_split = true;
+  const auto w = exp::run_experiment(graph, curve, wcfg);
+
+  EXPECT_EQ(w.arrivals, rr.arrivals);
+  EXPECT_EQ(w.drops, rr.drops);
+  EXPECT_EQ(w.metrics.completions(), rr.metrics.completions());
+  EXPECT_DOUBLE_EQ(w.slo_violation_ratio, rr.slo_violation_ratio);
+  EXPECT_DOUBLE_EQ(w.mean_accuracy, rr.mean_accuracy);
+  EXPECT_DOUBLE_EQ(w.mean_latency_s, rr.mean_latency_s);
+  EXPECT_DOUBLE_EQ(w.p99_latency_s, rr.p99_latency_s);
+  EXPECT_DOUBLE_EQ(w.mean_servers_used, rr.mean_servers_used);
+  EXPECT_EQ(w.allocations, rr.allocations);
+}
+
+TEST(WeightedSplit, SkewedSharesSplitArrivalsProportionally) {
+  // cluster_size 10 / 3 shards -> shares {4, 3, 3}. The weighted partition
+  // must preserve the arrival total exactly and hand each shard a share-
+  // proportional slice (within one item per shard at every prefix, so
+  // exactly within one at the end). Per-shard observed demand is read back
+  // from the run's registry snapshot.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  auto cfg = diff_config(3);
+  cfg.system_cfg.allocator.cluster_size = 10;
+  cfg.sim_weighted_split = true;
+  const auto seqcfg = [&] {
+    auto c = cfg;
+    c.sim_shards = 1;
+    c.sim_weighted_split = false;
+    return c;
+  }();
+
+  const auto seq = exp::run_experiment(graph, curve, seqcfg);
+  const auto w = exp::run_experiment(graph, curve, cfg);
+
+  EXPECT_EQ(w.arrivals, seq.arrivals);
+  EXPECT_LE(w.drops, w.arrivals);
+  EXPECT_EQ(w.metrics.completions() + w.drops, w.arrivals);
+  EXPECT_GT(w.allocations, 0);
+
+  const double total = static_cast<double>(w.arrivals);
+  const std::uint64_t s0 = w.obs.counter_value("exp.shard0.arrivals");
+  const std::uint64_t s1 = w.obs.counter_value("exp.shard1.arrivals");
+  const std::uint64_t s2 = w.obs.counter_value("exp.shard2.arrivals");
+  EXPECT_EQ(s0 + s1 + s2, w.arrivals);
+  EXPECT_NEAR(static_cast<double>(s0), 0.4 * total, 1.0);
+  EXPECT_NEAR(static_cast<double>(s1), 0.3 * total, 1.0);
+  EXPECT_NEAR(static_cast<double>(s2), 0.3 * total, 1.0);
+  // The skew is real: the 4-worker shard sees strictly more traffic.
+  EXPECT_GT(s0, s1);
+}
+
+TEST(WeightedSplit, SkewedCoordinatedRunIsDeterministicAndAccounted) {
+  // Coordinated + skewed shares: two distinct plan shares (4 and 3) are
+  // solved per epoch. Accounting must hold and repeat runs must be
+  // bit-identical regardless of worker-thread count.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  auto cfg = coord_config(3, 1);
+  cfg.system_cfg.allocator.cluster_size = 10;
+  cfg.sim_weighted_split = true;
+  const auto a = exp::run_experiment(graph, curve, cfg);
+  cfg.sim_threads = 2;
+  const auto b = exp::run_experiment(graph, curve, cfg);
+
+  EXPECT_GT(a.arrivals, 0u);
+  EXPECT_EQ(a.metrics.completions() + a.drops, a.arrivals);
+  EXPECT_LE(a.slo_violation_ratio, 0.05);
+
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.metrics.completions(), b.metrics.completions());
+  EXPECT_DOUBLE_EQ(a.slo_violation_ratio, b.slo_violation_ratio);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_DOUBLE_EQ(a.mean_servers_used, b.mean_servers_used);
+  EXPECT_EQ(a.allocations, b.allocations);
+  EXPECT_EQ(a.obs.counter_value("exp.shard0.arrivals"),
+            b.obs.counter_value("exp.shard0.arrivals"));
 }
 
 // ---------------------------------------------------------------------------
