@@ -31,6 +31,9 @@ InferLineStrategy::InferLineStrategy(serving::AllocatorConfig cfg,
 serving::PlanResult InferLineStrategy::plan(
     const serving::PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Failure re-plans shrink placement capacity to the surviving workers.
+  serving::ScopedClusterCapacity capacity(&cfg_.cluster_size, request,
+                                          graph_->num_tasks());
   // Request shape invariant: observed arrival rates are either absent
   // (planner probes) or one entry per task — never a partial vector.
   LOKI_CHECK_MSG(request.task_arrivals_qps.empty() ||

@@ -47,6 +47,9 @@ void ProteusStrategy::fold_observation(const std::vector<double>& qps,
 serving::PlanResult ProteusStrategy::plan(
     const serving::PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Failure re-plans shrink placement capacity to the surviving workers.
+  serving::ScopedClusterCapacity capacity(&cfg_.cluster_size, request,
+                                          graph_->num_tasks());
   // Request shape invariant: observed arrival rates are either absent
   // (planner probes) or one entry per task — never a partial vector.
   LOKI_CHECK_MSG(request.task_arrivals_qps.empty() ||

@@ -37,6 +37,7 @@ std::vector<WorkItem> Worker::assign(int task, int variant,
   LOKI_CHECK(model != nullptr);
   LOKI_CHECK(max_batch >= 1);
 
+  LOKI_CHECK_MSG(!crashed_, "assign on crashed worker " << id_);
   const bool same_variant =
       active() && task_ == task && variant_ == variant;
   if (same_variant) {
@@ -163,6 +164,7 @@ void Worker::start_batch() {
 
   double exec = model_->latency.latency_s(static_cast<int>(batch.size()));
   if (jitter_) exec = std::max(1e-6, jitter_(exec));
+  if (exec_mult_ != 1.0) exec = std::max(1e-6, exec * exec_mult_);
   busy_ = true;
   inflight_ = batch.size();
   stage_.execute_s += exec;
@@ -171,24 +173,67 @@ void Worker::start_batch() {
   publish_load();
 
   // Snapshot the configuration executing this batch: a mid-batch
-  // reassignment must not change how the completed work is attributed.
+  // reassignment must not change how the completed work is attributed. The
+  // batch itself lives in inflight_items_ (not the event closure) so a
+  // crash() mid-execution can strand the items instead of losing them.
   const BatchContext ctx{task_, variant_, max_batch_, model_};
-  sim_->schedule_after(
-      exec, [this, ctx, exec, batch = std::move(batch)]() mutable {
-        busy_ = false;
-        inflight_ = 0;
-        free_since_ = sim_->now();
-        if (tracer_ != nullptr && tracer_->enabled()) {
-          // Every item in the batch experienced the full batch latency.
-          for (const auto& item : batch) {
-            tracer_->add_execute(item.query_id, exec);
-          }
-        }
-        publish_load();
-        if (on_batch_done_) on_batch_done_(*this, batch, ctx);
-        recycle_scratch(std::move(batch));
-        maybe_start_batch();
-      });
+  inflight_items_ = std::move(batch);
+  batch_event_ = sim_->schedule_after(exec, [this, ctx, exec]() {
+    batch_event_ = {};
+    std::vector<WorkItem> done = std::move(inflight_items_);
+    inflight_items_ = std::vector<WorkItem>();
+    busy_ = false;
+    inflight_ = 0;
+    free_since_ = sim_->now();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      // Every item in the batch experienced the full batch latency.
+      for (const auto& item : done) {
+        tracer_->add_execute(item.query_id, exec);
+      }
+    }
+    publish_load();
+    if (on_batch_done_) on_batch_done_(*this, done, ctx);
+    recycle_scratch(std::move(done));
+    maybe_start_batch();
+  });
+}
+
+std::vector<WorkItem> Worker::crash() {
+  LOKI_CHECK_MSG(!crashed_, "double crash on worker " << id_);
+  std::vector<WorkItem> stranded = flush_queue();
+  if (load_event_.valid()) {
+    sim_->cancel(load_event_);
+    load_event_ = {};
+  }
+  if (wait_event_.valid()) {
+    sim_->cancel(wait_event_);
+    wait_event_ = {};
+  }
+  if (batch_event_.valid()) {
+    sim_->cancel(batch_event_);
+    batch_event_ = {};
+    for (auto& item : inflight_items_) stranded.push_back(item);
+    inflight_items_.clear();
+  }
+  task_ = -1;
+  variant_ = -1;
+  model_ = nullptr;
+  loading_ = false;
+  busy_ = false;
+  inflight_ = 0;
+  exec_mult_ = 1.0;
+  crashed_ = true;
+  publish_load();  // model_ == nullptr -> kLoadCellInactive
+  return stranded;
+}
+
+void Worker::recover() {
+  LOKI_CHECK_MSG(crashed_, "recover on live worker " << id_);
+  crashed_ = false;
+  ++incarnation_;
+  free_since_ = sim_->now();
+  load_done_t_ = sim_->now();
+  publish_load();
 }
 
 }  // namespace loki::cluster

@@ -46,6 +46,9 @@ struct WorkItem {
   /// opportunistic rerouting (§5.2): the deficit a faster downstream path
   /// must make up.
   double debt_s = 0.0;
+  /// Times this item was re-dispatched after being stranded on a crashed
+  /// worker (bounded retry-with-deadline, fault recovery path).
+  int retries = 0;
 };
 
 /// Per-stage hot-path counters (queue -> batch -> execute -> swap). Updates
@@ -154,6 +157,28 @@ class Worker {
   /// Removes the hosted instance; returns queued items for redistribution.
   std::vector<WorkItem> deactivate();
 
+  /// Fault injection: the worker dies now. Queued *and in-flight* items are
+  /// returned to the caller (stranded — the serving runtime retries or sheds
+  /// them when the failure is detected), all pending events are cancelled,
+  /// the hosted instance is discarded, and the load cell goes inactive. The
+  /// worker rejects assign()/enqueue() until recover().
+  std::vector<WorkItem> crash();
+  /// Fault injection: the crashed worker returns empty with a bumped
+  /// incarnation number; it idles until the next plan places an instance.
+  void recover();
+  bool crashed() const { return crashed_; }
+  /// Monotonic restart count: bumped on every recover(). Heartbeats carry it
+  /// so the failure detector can reject stale reports from a previous life.
+  int incarnation() const { return incarnation_; }
+
+  /// Straggler injection: batches *started* from now on take `mult` times
+  /// their nominal execution time (1.0 = healthy).
+  void set_exec_multiplier(double mult) {
+    LOKI_CHECK(mult > 0.0);
+    exec_mult_ = mult;
+  }
+  double exec_multiplier() const { return exec_mult_; }
+
   /// Hot path: one ring push plus a counter bump; the batch-start check
   /// falls through in one compare when the worker is already busy/loading
   /// (the common case under load).
@@ -213,14 +238,21 @@ class Worker {
 
   bool busy_ = false;
   bool loading_ = false;
+  bool crashed_ = false;
+  int incarnation_ = 0;
+  double exec_mult_ = 1.0;
   std::size_t inflight_ = 0;
   double batch_wait_s_ = 0.0;
   RingBuffer<WorkItem> queue_;
   /// Recycled batch/drop vectors: capacity survives the round trip through
   /// the completion callback, so steady state allocates nothing.
   std::vector<std::vector<WorkItem>> scratch_;
+  /// The batch currently executing, held by the worker (not the event
+  /// closure) so crash() can strand it; batch_event_ is its completion.
+  std::vector<WorkItem> inflight_items_;
   sim::Simulation::EventId load_event_{};
   sim::Simulation::EventId wait_event_{};
+  sim::Simulation::EventId batch_event_{};
   std::uint32_t* load_cell_ = nullptr;
 
   /// Wait-decomposition timestamps for the tracer: when the worker last

@@ -78,9 +78,10 @@ WeightedInterleave::WeightedInterleave(std::vector<double> weights)
   LOKI_CHECK(!weights_.empty());
   double total = 0.0;
   for (double w : weights_) {
-    LOKI_CHECK_MSG(w > 0.0, "interleave weights must be positive");
+    LOKI_CHECK_MSG(w >= 0.0, "interleave weights must be non-negative");
     total += w;
   }
+  LOKI_CHECK_MSG(total > 0.0, "interleave weights must sum to > 0");
   for (double& w : weights_) w /= total;
 }
 
@@ -145,6 +146,125 @@ std::vector<std::vector<double>> partition_arrivals(
   return shard_arrivals;
 }
 
+/// Streams the shared arrival sequence into the shard systems. Two modes:
+///
+///  - pre-partitioned (default): the sequence is dealt to shards up front
+///    (round-robin or share-weighted interleave, partition_arrivals above)
+///    and each shard runs a chained arrival pump over its slice — the
+///    bit-reproducible reference.
+///  - sim_reweight: arrivals are dealt one *window* at a time from the
+///    barrier, re-deriving each shard's weight from its surviving worker
+///    count (share minus crashed workers), so a mid-run crash shifts the
+///    following windows' load onto the survivors. The interleave persists
+///    across windows and is rebuilt only when the weights change, so with
+///    constant weights the assignment — and the run's metrics — match the
+///    upfront weighted partition exactly (differential-tested).
+///
+/// init() runs before the shard systems are constructed (it registers the
+/// exp.shard<k>.arrivals counters in the same order partition_arrivals did);
+/// arm() runs after ServingSystem::start(), when worker states exist.
+struct ShardArrivalFeeder {
+  sim::ParallelSimulation* psim = nullptr;
+  std::vector<std::unique_ptr<serving::ServingSystem>>* systems = nullptr;
+  std::vector<int> share;
+  double window_s = 0.0;
+  bool reweight = false;
+
+  // Pre-partitioned mode.
+  std::vector<std::vector<double>> shard_arrivals;
+  std::vector<std::size_t> next_idx;
+  std::vector<std::function<void()>> pumps;
+
+  // Reweight mode.
+  std::vector<double> arrivals;  // full sequence, ascending
+  std::size_t cursor = 0;
+  std::vector<double> weights;  // unnormalized, for change detection
+  std::unique_ptr<WeightedInterleave> interleave;
+  std::vector<obs::Counter> counters;
+
+  void init(const trace::DemandCurve& curve, const ExperimentConfig& cfg,
+            obs::Registry* registry) {
+    reweight = cfg.sim_reweight;
+    if (!reweight) {
+      shard_arrivals = partition_arrivals(curve, cfg, share, registry);
+      return;
+    }
+    trace::ArrivalStream stream(curve, cfg.arrivals);
+    for (double t = stream.next(); t >= 0.0; t = stream.next()) {
+      arrivals.push_back(t);
+    }
+    counters.reserve(share.size());
+    for (std::size_t s = 0; s < share.size(); ++s) {
+      counters.push_back(
+          registry->counter("exp.shard" + std::to_string(s) + ".arrivals"));
+    }
+  }
+
+  void arm() {
+    const std::size_t shards = share.size();
+    if (reweight) {
+      refresh_weights();
+      schedule_until(window_s);
+      return;
+    }
+    next_idx.assign(shards, 0);
+    pumps.resize(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      pumps[s] = [this, s]() {
+        (*systems)[s]->submit();
+        const std::size_t i = ++next_idx[s];
+        if (i < shard_arrivals[s].size()) {
+          psim->shard(s).schedule_at(shard_arrivals[s][i],
+                                     [&pump = pumps[s]]() { pump(); });
+        }
+      };
+      if (!shard_arrivals[s].empty()) {
+        psim->shard(s).schedule_at(shard_arrivals[s][0],
+                                   [&pump = pumps[s]]() { pump(); });
+      }
+    }
+  }
+
+  /// Barrier hook (reweight mode only): deal the next window's arrivals
+  /// with weights recomputed from the current crash state.
+  void on_barrier(double now) {
+    if (!reweight) return;
+    refresh_weights();
+    schedule_until(now + window_s);
+  }
+
+  void refresh_weights() {
+    std::vector<double> w(share.size());
+    double total = 0.0;
+    for (std::size_t s = 0; s < share.size(); ++s) {
+      w[s] = static_cast<double>(
+          std::max(0, share[s] - (*systems)[s]->crashed_workers()));
+      total += w[s];
+    }
+    if (total <= 0.0) {
+      // Every worker everywhere is down: keep dealing by share so arrivals
+      // still land somewhere deterministic (and get accounted as sheds).
+      for (std::size_t s = 0; s < share.size(); ++s) {
+        w[s] = static_cast<double>(share[s]);
+      }
+    }
+    if (interleave == nullptr || w != weights) {
+      weights = std::move(w);
+      interleave = std::make_unique<WeightedInterleave>(weights);
+    }
+  }
+
+  void schedule_until(double horizon) {
+    while (cursor < arrivals.size() && arrivals[cursor] < horizon) {
+      const double t = arrivals[cursor++];
+      const std::size_t s = interleave->next();
+      counters[s].add(1);
+      serving::ServingSystem* sys = (*systems)[s].get();
+      psim->shard(s).schedule_at(t, [sys]() { sys->submit(); });
+    }
+  }
+};
+
 ExperimentResult result_from_metrics(const std::string& name,
                                      const serving::Metrics& m,
                                      double total_solve_time_s,
@@ -177,13 +297,25 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
   // arrival count matches the sequential run exactly.
   const int cluster = cfg.system_cfg.allocator.cluster_size;
   const std::vector<int> share = shard_shares(cluster, shards);
-  std::vector<std::vector<double>> shard_arrivals =
-      partition_arrivals(curve, cfg, share, registry);
 
   sim::ParallelSimulation::Config pcfg;
   pcfg.shards = shards;
   pcfg.window_s = cfg.sim_window_s;
   sim::ParallelSimulation psim(pcfg);
+
+  ShardArrivalFeeder feeder;
+  feeder.psim = &psim;
+  feeder.share = share;
+  feeder.window_s = cfg.sim_window_s;
+  feeder.init(curve, cfg, registry);
+
+  // The global-id fault plan splits along the same contiguous worker-share
+  // ranges as the cluster itself; each shard arms only its own slice
+  // (cluster-wide network events are broadcast to every shard).
+  std::vector<fault::FaultPlan> shard_faults;
+  if (!cfg.fault_plan.empty()) {
+    shard_faults = fault::split_by_shares(cfg.fault_plan, share);
+  }
 
   // Each shard gets a proportional slice of the cluster (remainder to the
   // first shards) and its own strategy + serving system + RNG streams
@@ -196,6 +328,8 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
     scfg.seed = cfg.system_cfg.seed + 1000003 * (s + 1);
     scfg.registry = registry;
     scfg.trace = cfg.obs_trace;
+    if (!shard_faults.empty()) scfg.fault_plan = shard_faults[s];
+    scfg.detector = cfg.detector;
     strategies.push_back(
         make_strategy(cfg.system, scfg.allocator, &graph, profiles));
     systems.push_back(std::make_unique<serving::ServingSystem>(
@@ -205,22 +339,11 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
   // strategy construction stays off the worker threads.
   for (auto& system : systems) system->start();
 
-  // Per-shard arrival pumps over the pre-partitioned sequences.
-  std::vector<std::size_t> next_idx(shards, 0);
-  std::vector<std::function<void()>> pumps(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    pumps[s] = [&, s]() {
-      systems[s]->submit();
-      const std::size_t i = ++next_idx[s];
-      if (i < shard_arrivals[s].size()) {
-        psim.shard(s).schedule_at(shard_arrivals[s][i],
-                                  [&pump = pumps[s]]() { pump(); });
-      }
-    };
-    if (!shard_arrivals[s].empty()) {
-      psim.shard(s).schedule_at(shard_arrivals[s][0],
-                                [&pump = pumps[s]]() { pump(); });
-    }
+  feeder.systems = &systems;
+  feeder.arm();
+  if (cfg.sim_reweight) {
+    psim.set_barrier_callback(
+        [&feeder](sim::Time now) { feeder.on_barrier(now); });
   }
 
   const double t_end = curve.duration_s() + cfg.drain_s;
@@ -255,14 +378,29 @@ ExperimentResult run_experiment_coordinated(
     std::size_t shards, obs::Registry* registry) {
   const int cluster = cfg.system_cfg.allocator.cluster_size;
   const std::vector<int> share = shard_shares(cluster, shards);
-  std::vector<std::vector<double>> shard_arrivals =
-      partition_arrivals(curve, cfg, share, registry);
 
   sim::ParallelSimulation::Config pcfg;
   pcfg.shards = shards;
   pcfg.window_s = cfg.sim_window_s;
   pcfg.threads = cfg.sim_threads;
   sim::ParallelSimulation psim(pcfg);
+
+  ShardArrivalFeeder feeder;
+  feeder.psim = &psim;
+  feeder.share = share;
+  feeder.window_s = cfg.sim_window_s;
+  feeder.init(curve, cfg, registry);
+
+  // Fault mode: shard systems arm their slice of the plan and run detection
+  // locally (they are external systems, so they never replan on their own);
+  // the coordinator observes fault_replan_pending() at barriers and replans
+  // over the survivors. Plans must then be per *shard*, not per distinct
+  // share: two shards with equal shares can lose different workers.
+  const bool fault_mode = !cfg.fault_plan.empty() || cfg.detector.enabled;
+  std::vector<fault::FaultPlan> shard_faults;
+  if (!cfg.fault_plan.empty()) {
+    shard_faults = fault::split_by_shares(cfg.fault_plan, share);
+  }
 
   // One strategy per *distinct worker share* — at most two exist (floor and
   // ceil of cluster / K), so a control epoch costs one or two solves for the
@@ -276,7 +414,17 @@ ExperimentResult run_experiment_coordinated(
   // strategy of their own.
   std::vector<int> plan_shares;    // distinct shares, one plan each
   std::vector<double> plan_fracs;  // demand fraction that share serves
-  if (cfg.sim_weighted_split) {
+  if (fault_mode) {
+    // One plan per shard: each tracks its own survivor set. The demand
+    // fraction follows the arrival split (share-weighted or 1/K).
+    for (std::size_t s = 0; s < shards; ++s) {
+      plan_shares.push_back(share[s]);
+      plan_fracs.push_back(
+          cfg.sim_weighted_split || cfg.sim_reweight
+              ? static_cast<double>(share[s]) / static_cast<double>(cluster)
+              : 1.0 / static_cast<double>(shards));
+    }
+  } else if (cfg.sim_weighted_split) {
     for (int s : share) {
       if (std::find(plan_shares.begin(), plan_shares.end(), s) ==
           plan_shares.end()) {
@@ -297,7 +445,9 @@ ExperimentResult run_experiment_coordinated(
   }
   // Shard -> plan index (0 everywhere in round-robin mode).
   std::vector<std::size_t> shard_plan(shards, 0);
-  if (cfg.sim_weighted_split) {
+  if (fault_mode) {
+    for (std::size_t s = 0; s < shards; ++s) shard_plan[s] = s;
+  } else if (cfg.sim_weighted_split) {
     for (std::size_t s = 0; s < shards; ++s) {
       shard_plan[s] = static_cast<std::size_t>(
           std::find(plan_shares.begin(), plan_shares.end(), share[s]) -
@@ -312,6 +462,8 @@ ExperimentResult run_experiment_coordinated(
     scfg.seed = cfg.system_cfg.seed + 1000003 * (s + 1);
     scfg.registry = registry;
     scfg.trace = cfg.obs_trace;
+    if (!shard_faults.empty()) scfg.fault_plan = shard_faults[s];
+    scfg.detector = cfg.detector;
     systems.push_back(std::make_unique<serving::ServingSystem>(
         &psim.shard(s), &graph, profiles, /*strategy=*/nullptr, scfg));
   }
@@ -364,20 +516,44 @@ ExperimentResult run_experiment_coordinated(
     for (auto& system : systems) {
       sys_rates.push_back(system->drain_task_arrivals_now());
     }
+    // Demand fractions: static by default; under reweighted fault mode the
+    // arrival split follows the survivors, so the planned slices must too.
+    std::vector<double> fracs = plan_fracs;
+    if (fault_mode && cfg.sim_reweight) {
+      double surviving_total = 0.0;
+      std::vector<double> surviving(shards, 0.0);
+      for (std::size_t s = 0; s < shards; ++s) {
+        surviving[s] = static_cast<double>(
+            std::max(0, share[s] - systems[s]->crashed_workers()));
+        surviving_total += surviving[s];
+      }
+      if (surviving_total > 0.0) {
+        for (std::size_t s = 0; s < shards; ++s) {
+          fracs[s] = surviving[s] / surviving_total;
+        }
+      }
+    }
     for (std::size_t pi = 0; pi < plan_shares.size(); ++pi) {
       serving::PlanRequest req;
-      req.demand_qps = demand * plan_fracs[pi];
+      req.demand_qps = demand * fracs[pi];
       req.mult = mult;
       req.task_arrivals_qps.assign(
           static_cast<std::size_t>(graph.num_tasks()), 0.0);
       for (const auto& rates : sys_rates) {
         for (std::size_t t = 0; t < rates.size(); ++t) {
-          req.task_arrivals_qps[t] += rates[t] * plan_fracs[pi];
+          req.task_arrivals_qps[t] += rates[t] * fracs[pi];
         }
       }
       req.sim_time_s = now;
       req.epoch = allocations;
       req.previous_plan = have_plan ? &plans[pi] : nullptr;
+      if (fault_mode) {
+        // Plan over the survivors the controller has *detected* (plan index
+        // == shard index in fault mode); the allocator clamps internally so
+        // it never plans below one worker per task.
+        req.available_workers =
+            share[pi] - systems[pi]->detector_dead_workers();
+      }
       serving::PlanResult result = strategies[pi]->plan(req);
       plans[pi] = std::move(result.plan);
       solve_s += plans[pi].solve_time_s;
@@ -396,33 +572,29 @@ ExperimentResult run_experiment_coordinated(
   next_replan = cfg.system_cfg.rm_period_s;
 
   psim.set_barrier_callback([&](sim::Time now) {
-    bool due = now + 1e-9 >= next_replan;
+    feeder.on_barrier(now);
+    // A shard whose detected-dead set changed since its plan was installed
+    // forces an immediate survivor replan (the event-driven trigger of
+    // ROADMAP item 4); otherwise the usual period/demand-surge triggers.
+    bool fault_due = false;
+    if (fault_mode) {
+      for (auto& system : systems) {
+        fault_due = fault_due || system->fault_replan_pending();
+      }
+    }
+    bool due = fault_due || now + 1e-9 >= next_replan;
     if (!due && have_plan) {
       double est = 0.0;
       for (auto& system : systems) est += system->demand_estimate_now();
       due = est > last_demand * 1.25 + 1.0 || est < last_demand * 0.5 - 1.0;
     }
     if (!due) return;
-    replan(now, /*force=*/false);
+    replan(now, /*force=*/fault_due);
     while (next_replan <= now + 1e-9) next_replan += cfg.system_cfg.rm_period_s;
   });
 
-  std::vector<std::size_t> next_idx(shards, 0);
-  std::vector<std::function<void()>> pumps(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    pumps[s] = [&, s]() {
-      systems[s]->submit();
-      const std::size_t i = ++next_idx[s];
-      if (i < shard_arrivals[s].size()) {
-        psim.shard(s).schedule_at(shard_arrivals[s][i],
-                                  [&pump = pumps[s]]() { pump(); });
-      }
-    };
-    if (!shard_arrivals[s].empty()) {
-      psim.shard(s).schedule_at(shard_arrivals[s][0],
-                                [&pump = pumps[s]]() { pump(); });
-    }
-  }
+  feeder.systems = &systems;
+  feeder.arm();
 
   const double t_end = curve.duration_s() + cfg.drain_s;
   psim.run_until(t_end);
@@ -475,6 +647,10 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
     serving::SystemConfig scfg = cfg.system_cfg;
     scfg.registry = &registry;
     scfg.trace = cfg.obs_trace;
+    // Sequential mode serves the whole cluster, so the global-id fault plan
+    // applies verbatim (no split needed).
+    if (!cfg.fault_plan.empty()) scfg.fault_plan = cfg.fault_plan;
+    if (cfg.detector.enabled) scfg.detector = cfg.detector;
     serving::ServingSystem system(&sim, &graph, profiles, strategy.get(),
                                   scfg);
     system.start();

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/detector.hpp"
+#include "fault/plan.hpp"
 #include "obs/registry.hpp"
 #include "pipeline/graph.hpp"
 #include "serving/system.hpp"
@@ -89,6 +91,28 @@ struct ExperimentConfig {
   /// share-proportional demand slice instead of assuming 1/K everywhere —
   /// the per-shard demand-skew gap of ROADMAP item 2.
   bool sim_weighted_split = false;
+  /// Re-weight the weighted split at every window barrier (requires a
+  /// parallel mode; implies the weighted interleave): each window's arrivals
+  /// are dealt to shards in proportion to their *surviving* worker counts
+  /// (share minus crashed workers), so a shard that loses workers to a
+  /// FaultPlan crash also sheds its proportional load to its peers — the
+  /// post-crash demand re-split of ROADMAP item 4. It also models drifting
+  /// demand splits generally: the interleave is rebuilt only when the
+  /// weights actually change, so with constant weights (no faults) the
+  /// assignment — and the run's metrics — are bit-identical to the upfront
+  /// partition (differential-tested).
+  bool sim_reweight = false;
+  /// Deterministic fault schedule (ROADMAP item 4), armed as first-class
+  /// simulation events. Worker ids are global cluster ids; the parallel
+  /// modes split the plan into per-shard local-id plans along the same
+  /// contiguous worker-share ranges the cluster split uses. An empty plan
+  /// arms nothing and is bit-identical to a run without the fault subsystem
+  /// (injection-off passivity, differential-tested in all three sim modes).
+  fault::FaultPlan fault_plan;
+  /// Failure-detector configuration (phi-style heartbeat suspicion).
+  /// Disabled by default; enabling it turns on detection/quarantine/replan
+  /// even with an empty fault plan.
+  fault::DetectorConfig detector;
   /// Observability (src/obs): per-request trace sampling forwarded to every
   /// serving system (always-on by default; the registry itself is created
   /// per run), and an optional path to CSV-export the final snapshot.
@@ -128,7 +152,9 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
 /// the property the weighted-split differential test pins.
 class WeightedInterleave {
  public:
-  /// `weights` must be positive; they are normalized internally.
+  /// `weights` must be non-negative with a positive sum (a zero-weight shard
+  /// simply receives no items — e.g. every worker on it has crashed); they
+  /// are normalized internally.
   explicit WeightedInterleave(std::vector<double> weights);
   /// Shard index for the next item.
   std::size_t next();

@@ -1,0 +1,63 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace loki::fault {
+
+void arm_fault_plan(sim::Simulation* sim, const FaultPlan& plan,
+                    FaultHooks hooks) {
+  LOKI_CHECK(sim != nullptr);
+  if (plan.empty()) return;
+  // One shared hook block for all events; SmallFunction captures stay small.
+  auto shared = std::make_shared<FaultHooks>(std::move(hooks));
+  for (const FaultEvent& e : plan.events) {
+    const double t = std::max(e.t, sim->now());
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        sim->schedule_at(t, [shared, w = e.worker] {
+          if (shared->crash) shared->crash(w);
+        });
+        break;
+      case FaultKind::kRecover:
+        sim->schedule_at(t, [shared, w = e.worker] {
+          if (shared->recover) shared->recover(w);
+        });
+        break;
+      case FaultKind::kStragglerStart:
+        sim->schedule_at(t, [shared, w = e.worker, m = e.param] {
+          if (shared->straggler) shared->straggler(w, m);
+        });
+        break;
+      case FaultKind::kStragglerEnd:
+        sim->schedule_at(t, [shared, w = e.worker] {
+          if (shared->straggler) shared->straggler(w, 1.0);
+        });
+        break;
+      case FaultKind::kHeartbeatLossStart:
+        sim->schedule_at(t, [shared, w = e.worker] {
+          if (shared->heartbeat_loss) shared->heartbeat_loss(w, true);
+        });
+        break;
+      case FaultKind::kHeartbeatLossEnd:
+        sim->schedule_at(t, [shared, w = e.worker] {
+          if (shared->heartbeat_loss) shared->heartbeat_loss(w, false);
+        });
+        break;
+      case FaultKind::kNetworkDegradeStart:
+        sim->schedule_at(t, [shared, d = e.param, p = e.param2] {
+          if (shared->network) shared->network(d, p);
+        });
+        break;
+      case FaultKind::kNetworkDegradeEnd:
+        sim->schedule_at(t, [shared] {
+          if (shared->network) shared->network(0.0, 0.0);
+        });
+        break;
+    }
+  }
+}
+
+}  // namespace loki::fault

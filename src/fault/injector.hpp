@@ -1,0 +1,41 @@
+// Arms a FaultPlan on a simulation: every fault event becomes an ordinary
+// (t, seq) simulation event that invokes the matching hook. The fault layer
+// deliberately knows nothing about the serving runtime — the runtime passes
+// in hooks — so `fault` sits between `sim` and `serving` in the layer graph
+// with no upward dependency.
+//
+// Determinism: events are armed in normalized plan order, so equal-time
+// fault events fire in authoring order, and because the simulation core
+// processes equal-time events in schedule order, arming a plan never
+// reorders events the runtime had already scheduled (passivity: an empty
+// plan arms nothing at all).
+#pragma once
+
+#include <functional>
+
+#include "fault/plan.hpp"
+#include "sim/simulation.hpp"
+
+namespace loki::fault {
+
+struct FaultHooks {
+  /// kCrash: worker dies now.
+  std::function<void(int worker)> crash;
+  /// kRecover: worker returns empty with a new incarnation.
+  std::function<void(int worker)> recover;
+  /// kStragglerStart (mult = param > 1) and kStragglerEnd (mult = 1).
+  std::function<void(int worker, double mult)> straggler;
+  /// kHeartbeatLossStart (lost = true) / kHeartbeatLossEnd (lost = false).
+  std::function<void(int worker, bool lost)> heartbeat_loss;
+  /// kNetworkDegradeStart (extra_delay_s = param, drop_prob = param2) and
+  /// kNetworkDegradeEnd (0, 0).
+  std::function<void(double extra_delay_s, double drop_prob)> network;
+};
+
+/// Schedules one simulation event per fault event. Events at or before
+/// sim->now() fire when the simulation next runs (scheduled at now()).
+/// Missing hooks make the corresponding fault kinds no-ops.
+void arm_fault_plan(sim::Simulation* sim, const FaultPlan& plan,
+                    FaultHooks hooks);
+
+}  // namespace loki::fault

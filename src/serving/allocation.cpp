@@ -437,6 +437,9 @@ GreedyAllocator::split_configs() {
 
 PlanResult GreedyAllocator::plan(const PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Failure re-plans shrink placement capacity to the surviving workers.
+  ScopedClusterCapacity capacity(&cfg_.cluster_size, request,
+                                 graph_->num_tasks());
   const auto& g = *graph_;
   // Request shape invariant: observed arrival rates are either absent
   // (planner probes) or one entry per task — never a partial vector.
@@ -1114,6 +1117,12 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
 
 PlanResult MilpAllocator::plan(const PlanRequest& request) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Failure re-plans shrink placement capacity to the surviving workers.
+  // The smaller capacity changes the built models, so the epoch warm cache
+  // naturally falls back to cold for the degraded epochs and re-warms once
+  // capacity is restored.
+  ScopedClusterCapacity capacity(&cfg_.cluster_size, request,
+                                 graph_->num_tasks());
   // Request shape invariant: observed arrival rates are either absent
   // (planner probes) or one entry per task — never a partial vector.
   LOKI_CHECK_MSG(request.task_arrivals_qps.empty() ||

@@ -113,6 +113,21 @@ int MetadataStore::variant_change_count() const {
   return changes;
 }
 
+void MetadataStore::record_worker_event(double t, int worker, int incarnation,
+                                        fault::WorkerHealth from,
+                                        fault::WorkerHealth to) {
+  record_into(worker_shards_, WorkerEvent{t, worker, incarnation, from, to});
+  worker_dirty_.store(true, std::memory_order_release);
+}
+
+const std::deque<MetadataStore::WorkerEvent>&
+MetadataStore::worker_event_history() const {
+  if (worker_dirty_.exchange(false, std::memory_order_acq_rel)) {
+    rebuild_merged(worker_shards_, merged_worker_events_, history_limit_);
+  }
+  return merged_worker_events_;
+}
+
 void MetadataStore::record_mult_factors(pipeline::MultFactorTable estimates) {
   std::lock_guard<std::mutex> lock(mult_mu_);
   mult_estimates_ = std::move(estimates);

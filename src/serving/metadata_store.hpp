@@ -21,6 +21,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/detector.hpp"
 #include "pipeline/graph.hpp"
 #include "serving/allocation.hpp"
 #include "serving/types.hpp"
@@ -36,6 +37,15 @@ class MetadataStore {
   struct PlanRecord {
     double t = 0.0;
     AllocationPlan plan;
+  };
+  /// One worker health-state transition recorded by the failure detector
+  /// ("what did the controller believe about the fleet, and when").
+  struct WorkerEvent {
+    double t = 0.0;
+    int worker = -1;
+    int incarnation = 0;
+    fault::WorkerHealth from = fault::WorkerHealth::kAlive;
+    fault::WorkerHealth to = fault::WorkerHealth::kAlive;
   };
 
   /// Registers the served pipeline and its profiles (initial setup, §3).
@@ -60,6 +70,12 @@ class MetadataStore {
   const AllocationPlan* current_plan() const;
   /// Number of plan transitions whose variant sets differ (swap pressure).
   int variant_change_count() const;
+
+  /// Worker health-transition history from the failure detector (bounded
+  /// ring; most recent last). Thread-safe.
+  void record_worker_event(double t, int worker, int incarnation,
+                           fault::WorkerHealth from, fault::WorkerHealth to);
+  const std::deque<WorkerEvent>& worker_event_history() const;
 
   /// Latest multiplicative-factor estimates reported by heartbeats.
   void record_mult_factors(pipeline::MultFactorTable estimates);
@@ -93,10 +109,13 @@ class MetadataStore {
   mutable std::atomic<std::uint64_t> next_ticket_{0};
   mutable std::vector<Shard<DemandSample>> demand_shards_{kShards};
   mutable std::vector<Shard<PlanRecord>> plan_shards_{kShards};
+  mutable std::vector<Shard<WorkerEvent>> worker_shards_{kShards};
   mutable std::atomic<bool> demand_dirty_{false};
   mutable std::atomic<bool> plan_dirty_{false};
+  mutable std::atomic<bool> worker_dirty_{false};
   mutable std::deque<DemandSample> merged_demand_;
   mutable std::deque<PlanRecord> merged_plans_;
+  mutable std::deque<WorkerEvent> merged_worker_events_;
   mutable std::mutex mult_mu_;
   pipeline::MultFactorTable mult_estimates_;
 };

@@ -34,7 +34,7 @@ void Metrics::record_arrival(double t) {
 }
 
 void Metrics::record_outcome(double t, QueryOutcome outcome, double accuracy,
-                             double latency_s) {
+                             double latency_s, LossCause cause) {
   roll(t);
   ++w_done_;
   switch (outcome) {
@@ -55,11 +55,17 @@ void Metrics::record_outcome(double t, QueryOutcome outcome, double accuracy,
       break;
     case QueryOutcome::kShed:
       ++shed_;
-      [[fallthrough]];
+      ++drops_;  // drops_ counts every lost query; shed_ is the subset
+      ++violations_;
+      ++w_violations_;
+      if (cause == LossCause::kWorkerFailure) ++shed_failure_;
+      if (cause == LossCause::kDegradedOverload) ++shed_degraded_;
+      break;
     case QueryOutcome::kDropped:
       ++drops_;
       ++violations_;
       ++w_violations_;
+      if (cause == LossCause::kWorkerFailure) ++drops_failure_;
       break;
   }
 }
@@ -96,6 +102,9 @@ void Metrics::merge(const Metrics& other) {
   drops_ += other.drops_;
   shed_ += other.shed_;
   late_ += other.late_;
+  shed_failure_ += other.shed_failure_;
+  shed_degraded_ += other.shed_degraded_;
+  drops_failure_ += other.drops_failure_;
   forwards_ += other.forwards_;
   model_swaps_ += other.model_swaps_;
   accuracy_.merge(other.accuracy_);

@@ -13,6 +13,10 @@ namespace loki::serving {
 /// dropped (any part) or finished past its deadline (§6.1 definition).
 enum class QueryOutcome { kOnTime, kLate, kDropped, kShed };
 
+/// Why a query was shed or dropped (fault-subsystem attribution; plain
+/// capacity decisions — overload shedding, early dropping — use kCapacity).
+enum class LossCause { kCapacity, kWorkerFailure, kDegradedOverload };
+
 class Metrics {
  public:
   explicit Metrics(double window_s = 10.0) : window_s_(window_s) {}
@@ -22,7 +26,8 @@ class Metrics {
   /// profiled end-to-end accuracy over the sinks it completed (ignored for
   /// dropped/shed queries).
   void record_outcome(double t, QueryOutcome outcome, double accuracy,
-                      double latency_s);
+                      double latency_s,
+                      LossCause cause = LossCause::kCapacity);
   /// Periodic cluster snapshot: servers in use / total.
   void record_utilization(double t, int servers_used, int cluster_size);
   void record_demand_estimate(double t, double qps);
@@ -41,6 +46,11 @@ class Metrics {
   std::uint64_t drops() const { return drops_; }
   std::uint64_t shed() const { return shed_; }
   std::uint64_t late() const { return late_; }
+  /// Shed-by-cause attribution (the fault subsystem's reconciliation
+  /// invariant: arrivals == completions + drops, with drops split by cause).
+  std::uint64_t shed_by_failure() const { return shed_failure_; }
+  std::uint64_t shed_by_degraded() const { return shed_degraded_; }
+  std::uint64_t drops_by_failure() const { return drops_failure_; }
   std::uint64_t forwards() const { return forwards_; }
   std::uint64_t model_swaps() const { return model_swaps_; }
   double slo_violation_ratio() const;
@@ -87,6 +97,9 @@ class Metrics {
   std::uint64_t drops_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t late_ = 0;
+  std::uint64_t shed_failure_ = 0;
+  std::uint64_t shed_degraded_ = 0;
+  std::uint64_t drops_failure_ = 0;
   std::uint64_t forwards_ = 0;
   std::uint64_t model_swaps_ = 0;
   RunningStats accuracy_;

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "fault/injector.hpp"
 
 namespace loki::serving {
 
@@ -35,7 +36,8 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
       rng_routing_(Rng(cfg.seed).stream("routing")),
       rng_mult_(Rng(cfg.seed).stream("mult")),
       rng_jitter_(Rng(cfg.seed).stream("jitter")),
-      rng_shed_(Rng(cfg.seed).stream("shed")) {
+      rng_shed_(Rng(cfg.seed).stream("shed")),
+      rng_fault_(Rng(cfg.seed).stream("fault")) {
   // strategy_ may be nullptr for externally-planned systems (coordinated
   // sharding); start() / run_resource_manager() check it.
   LOKI_CHECK(sim_ && graph_);
@@ -52,6 +54,41 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
   c_stage_swaps_ = reg.counter(cfg_.metric_prefix + ".stage.swaps");
   c_stage_swap_ns_ =
       reg.counter(cfg_.metric_prefix + ".stage.swap_stall_ns");
+
+  // Fault subsystem: armed only when the config asks for it. When inert,
+  // nothing below registers metrics, sizes state, or draws randomness —
+  // default-configured systems stay bit-identical to a build without it.
+  fault_active_ = !cfg_.fault_plan.empty() || cfg_.detector.enabled;
+  if (fault_active_) {
+    cfg_.fault_plan.normalize();
+    fault::DetectorConfig dc = cfg_.detector;
+    dc.enabled = true;
+    if (dc.heartbeat_period_s <= 0.0) {
+      dc.heartbeat_period_s = cfg_.heartbeat_period_s;
+    }
+    detector_ = fault::FailureDetector(dc, cfg_.allocator.cluster_size);
+    const std::size_t n =
+        static_cast<std::size_t>(cfg_.allocator.cluster_size);
+    worker_quarantined_.assign(n, 0);
+    hb_suppressed_.assign(n, 0);
+    crash_time_.assign(n, -1.0);
+    dead_since_.assign(n, -1.0);
+    stranded_.resize(n);
+    const std::string fp = cfg_.metric_prefix + ".fault.";
+    c_fault_crashes_ = reg.counter(fp + "crashes");
+    c_fault_recoveries_ = reg.counter(fp + "recoveries");
+    c_fault_suspects_ = reg.counter(fp + "suspects");
+    c_fault_dead_ = reg.counter(fp + "dead");
+    c_fault_stranded_retried_ = reg.counter(fp + "stranded_retried");
+    c_fault_stranded_dropped_ = reg.counter(fp + "stranded_dropped");
+    c_fault_degraded_shed_ = reg.counter(fp + "degraded_shed");
+    c_fault_net_drops_ = reg.counter(fp + "net_drops");
+    c_fault_replans_ = reg.counter(fp + "replans");
+    c_fault_stale_heartbeats_ = reg.counter(fp + "stale_heartbeats");
+    h_fault_detect_ns_ = reg.histogram(fp + "detect_ns");
+    h_fault_recovery_ns_ = reg.histogram(fp + "recovery_ns");
+  }
+
   mult_estimates_ = pipeline::default_mult_factors(*graph_);
   obs_in_.assign(mult_estimates_.size(), {});
   obs_out_.assign(mult_estimates_.size(), {});
@@ -173,6 +210,7 @@ void ServingSystem::start() {
   started_ = true;
   run_resource_manager();  // initial allocation + routing
   schedule_control_loops(/*with_rm=*/true);
+  arm_configured_faults();
 }
 
 void ServingSystem::start_external() {
@@ -183,6 +221,22 @@ void ServingSystem::start_external() {
   // heartbeat loops still run so routing tracks the local demand estimate
   // and mult observations between plan pushes.
   schedule_control_loops(/*with_rm=*/false);
+  arm_configured_faults();
+}
+
+void ServingSystem::arm_configured_faults() {
+  if (cfg_.fault_plan.empty()) return;
+  fault::FaultHooks hooks;
+  hooks.crash = [this](int w) { inject_worker_crash(w); };
+  hooks.recover = [this](int w) { inject_worker_recover(w); };
+  hooks.straggler = [this](int w, double m) { inject_straggler(w, m); };
+  hooks.heartbeat_loss = [this](int w, bool lost) {
+    inject_heartbeat_loss(w, lost);
+  };
+  hooks.network = [this](double d, double p) {
+    inject_network_degrade(d, p);
+  };
+  fault::arm_fault_plan(sim_, cfg_.fault_plan, std::move(hooks));
 }
 
 void ServingSystem::install_plan(AllocationPlan plan) {
@@ -199,9 +253,25 @@ void ServingSystem::install_plan(AllocationPlan plan) {
   run_load_balancer();
   metrics_.record_allocation(now, plan_.solve_time_s,
                              static_cast<int>(plan_.mode));
+  if (fault_active_) {
+    planned_fault_epoch_ = fault_epoch_;
+    update_degraded();
+  }
 }
 
 void ServingSystem::finish(double t_end) {
+  if (fault_active_) {
+    // Queries still stranded on a crashed worker at the end of the run are
+    // shed-by-failure now, so arrivals == completions + drops reconciles
+    // exactly (no query is silently lost with its worker).
+    for (auto& held : stranded_) {
+      for (const auto& item : held) {
+        c_fault_stranded_dropped_.add(1);
+        drop_query_part(item.query_id, t_end, LossCause::kWorkerFailure);
+      }
+      held.clear();
+    }
+  }
   stopped_ = true;
   metrics_.flush(t_end);
   publish_stage_counters();
@@ -211,6 +281,14 @@ int ServingSystem::active_workers() const {
   int n = 0;
   for (const auto& w : workers_) {
     if (w->active()) ++n;
+  }
+  return n;
+}
+
+int ServingSystem::crashed_workers() const {
+  int n = 0;
+  for (const auto& w : workers_) {
+    if (w->crashed()) ++n;
   }
   return n;
 }
@@ -244,6 +322,7 @@ void ServingSystem::publish_stage_counters() {
 
 double ServingSystem::comm_delay() {
   double d = cfg_.allocator.comm_latency_s;
+  if (fault_active_ && net_extra_delay_s_ > 0.0) d += net_extra_delay_s_;
   if (cfg_.comm_jitter_frac > 0.0) {
     d = std::max(0.0, rng_jitter_.normal(d, d * cfg_.comm_jitter_frac));
   }
@@ -290,6 +369,20 @@ void ServingSystem::submit() {
   demand_.record_arrival(now);
   task_window_arrivals_[static_cast<std::size_t>(root_task_)] += 1.0;
 
+  // Degraded overload mode (fault subsystem): dead capacity the plan has
+  // not yet been rebuilt around — shed the lost-capacity fraction at the
+  // frontend so the surviving workers keep meeting their latency budgets
+  // instead of queueing everything into SLO violations.
+  if (fault_active_ && degraded_ &&
+      rng_fault_.bernoulli(degraded_shed_frac_)) {
+    c_fault_degraded_shed_.add(1);
+    if (metered) {
+      metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0,
+                              LossCause::kDegradedOverload);
+    }
+    return;
+  }
+
   // Overload shedding: the plan serves only served_fraction of demand.
   if (plan_.served_fraction < 1.0 &&
       rng_shed_.uniform() > plan_.served_fraction) {
@@ -326,7 +419,7 @@ int ServingSystem::pick_group(const RoutingPlan::DrawTable& table) {
   return table.pick(rng_routing_.uniform());
 }
 
-int ServingSystem::pick_worker(int group) const {
+int ServingSystem::scan_group(int group, bool skip_quarantined) const {
   if (group < 0 || group >= static_cast<int>(group_workers_.size())) return -1;
   // Least-loaded replica over the packed load cells; workers mid model-swap
   // only as a last resort (their queue stalls for the whole load time).
@@ -336,6 +429,10 @@ int ServingSystem::pick_worker(int group) const {
   int best_loading = -1;
   std::uint32_t best_loading_load = cluster::Worker::kLoadCellInactive;
   for (int wid : group_workers_[static_cast<std::size_t>(group)]) {
+    if (skip_quarantined &&
+        worker_quarantined_[static_cast<std::size_t>(wid)]) {
+      continue;
+    }
     const std::uint32_t cell = worker_load_[static_cast<std::size_t>(wid)];
     if (cell == cluster::Worker::kLoadCellInactive) continue;
     if (cell & cluster::Worker::kLoadCellLoadingBit) {
@@ -352,13 +449,22 @@ int ServingSystem::pick_worker(int group) const {
   return best >= 0 ? best : best_loading;
 }
 
-int ServingSystem::pick_worker_for_task(int task) const {
+int ServingSystem::pick_worker(int group) const {
+  // Quarantine (fault subsystem): suspects take no new work; when an entire
+  // group is quarantined, fall back to whatever is alive rather than drop.
+  const int wid = scan_group(group, /*skip_quarantined=*/fault_active_);
+  if (wid >= 0 || !fault_active_) return wid;
+  return scan_group(group, /*skip_quarantined=*/false);
+}
+
+int ServingSystem::scan_task(int task, bool skip_quarantined) const {
   int best = -1;
   std::uint32_t best_load = cluster::Worker::kLoadCellInactive;
   int best_loading = -1;
   std::uint32_t best_loading_load = cluster::Worker::kLoadCellInactive;
   for (std::size_t wid = 0; wid < worker_load_.size(); ++wid) {
     if (worker_task_[wid] != task) continue;
+    if (skip_quarantined && worker_quarantined_[wid]) continue;
     const std::uint32_t cell = worker_load_[wid];
     if (cell == cluster::Worker::kLoadCellInactive) continue;
     if (cell & cluster::Worker::kLoadCellLoadingBit) {
@@ -375,6 +481,12 @@ int ServingSystem::pick_worker_for_task(int task) const {
   return best >= 0 ? best : best_loading;
 }
 
+int ServingSystem::pick_worker_for_task(int task) const {
+  const int wid = scan_task(task, /*skip_quarantined=*/fault_active_);
+  if (wid >= 0 || !fault_active_) return wid;
+  return scan_task(task, /*skip_quarantined=*/false);
+}
+
 void ServingSystem::forward_item(cluster::WorkItem item, int group) {
   int wid = pick_worker(group);
   if (wid < 0) {
@@ -386,15 +498,24 @@ void ServingSystem::forward_item(cluster::WorkItem item, int group) {
     drop_query_part(item.query_id, sim_->now());
     return;
   }
+  // Network fault injection: degraded links drop forwards outright.
+  if (fault_active_ && net_drop_prob_ > 0.0 &&
+      rng_fault_.bernoulli(net_drop_prob_)) {
+    c_fault_net_drops_.add(1);
+    drop_query_part(item.query_id, sim_->now(), LossCause::kWorkerFailure);
+    return;
+  }
   const double delay = comm_delay();
   tracer_.add_comm(item.query_id, delay);
   sim_->schedule_after(delay, [this, item, wid]() mutable {
     auto& w = *workers_[static_cast<std::size_t>(wid)];
     if (!w.active()) {
-      // Reassigned while in flight: send to any worker of the same task.
+      // Reassigned (or crashed) while in flight: any worker of the task.
       const int alt = pick_worker_for_task(item.task);
       if (alt < 0) {
-        drop_query_part(item.query_id, sim_->now());
+        drop_query_part(item.query_id, sim_->now(),
+                        w.crashed() ? LossCause::kWorkerFailure
+                                    : LossCause::kCapacity);
         return;
       }
       item.enqueue_time = sim_->now();
@@ -598,10 +719,14 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
   }
 }
 
-void ServingSystem::drop_query_part(std::uint64_t query_id, double now) {
+void ServingSystem::drop_query_part(std::uint64_t query_id, double now,
+                                    LossCause cause) {
   QueryState* qs = queries_.find(query_id);
   if (qs == nullptr) return;
-  qs->dropped = true;
+  if (!qs->dropped) {
+    qs->dropped = true;
+    qs->cause = cause;  // first drop wins the attribution
+  }
   complete_part(query_id, now);
 }
 
@@ -621,7 +746,15 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
     return;
   }
   if (qs.dropped) {
-    metrics_.record_outcome(now, QueryOutcome::kDropped, 0.0, latency);
+    // Fault-caused losses count as *shed* with their cause (shed-by-failure
+    // / shed-by-degradation); plain capacity drops keep the pre-fault
+    // accounting bit-identical.
+    if (qs.cause == LossCause::kCapacity) {
+      metrics_.record_outcome(now, QueryOutcome::kDropped, 0.0, latency);
+    } else {
+      metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, latency,
+                              qs.cause);
+    }
   } else {
     const double acc =
         qs.sink_completions > 0
@@ -656,13 +789,14 @@ std::vector<double> ServingSystem::drain_task_arrivals(double now) {
   return rates;
 }
 
-void ServingSystem::run_resource_manager() {
+void ServingSystem::run_resource_manager(bool force) {
   LOKI_CHECK(strategy_ != nullptr);
   const double now = sim_->now();
   const double demand = demand_.estimate(now);
   // Hysteresis: skip the re-allocation when demand barely moved — swapping
-  // variants costs load time and the current plan still fits.
-  if (has_plan_) {
+  // variants costs load time and the current plan still fits. Failure
+  // re-plans (`force`) always go through: the *capacity* moved, not demand.
+  if (has_plan_ && !force) {
     const double rel = std::abs(demand - last_alloc_demand_) /
                        std::max(last_alloc_demand_, 10.0);
     if (rel < cfg_.realloc_threshold && plan_.served_fraction >= 1.0) {
@@ -677,6 +811,10 @@ void ServingSystem::run_resource_manager() {
   req.sim_time_s = now;
   req.epoch = allocations_;
   req.previous_plan = has_plan_ ? &plan_ : nullptr;
+  if (fault_active_) {
+    req.available_workers =
+        cfg_.allocator.cluster_size - detector_.dead_count();
+  }
   PlanResult result = strategy_->plan(req);
   AllocationPlan plan = std::move(result.plan);
   has_plan_ = true;
@@ -692,6 +830,10 @@ void ServingSystem::run_resource_manager() {
   run_load_balancer();  // LB runs on every allocation change (§5.1)
   metrics_.record_allocation(now, plan_.solve_time_s,
                              static_cast<int>(plan_.mode));
+  if (fault_active_) {
+    planned_fault_epoch_ = fault_epoch_;
+    update_degraded();
+  }
 }
 
 void ServingSystem::run_load_balancer() {
@@ -724,6 +866,11 @@ void ServingSystem::run_heartbeat() {
   metrics_.record_utilization(now, plan_.servers_used,
                               cfg_.allocator.cluster_size);
   publish_stage_counters();
+
+  // Failure detection runs on the heartbeat cadence for internal *and*
+  // externally-planned systems (the coordinator polls
+  // fault_replan_pending() at its barriers; detection itself is local).
+  if (fault_active_) run_failure_detection(now);
 
   // §4.2: the Resource Manager reallocates between periodic invocations
   // when it detects a significant demand change (e.g. cold start or a
@@ -774,7 +921,8 @@ void ServingSystem::apply_plan(AllocationPlan plan) {
     }
   }
   // Pass 2a: fill remaining slots with idle workers (loading an idle
-  // worker costs no serving capacity, so these start immediately).
+  // worker costs no serving capacity, so these start immediately). Crashed
+  // workers are idle but not placeable until they recover.
   std::vector<std::pair<int, int>> deferred;  // (worker id, group)
   for (int gi = 0; gi < ngroups; ++gi) {
     const auto& ic = plan.instances[static_cast<std::size_t>(gi)];
@@ -782,7 +930,7 @@ void ServingSystem::apply_plan(AllocationPlan plan) {
          wi < workers_.size() && slots_left[static_cast<std::size_t>(gi)] > 0;
          ++wi) {
       auto& w = *workers_[wi];
-      if (worker_placed[wi] || w.active()) continue;
+      if (worker_placed[wi] || w.active() || w.crashed()) continue;
       flush_into(w.assign(ic.task, ic.variant,
                           &graph_->task(ic.task).catalog.at(ic.variant),
                           ic.batch, cfg_.model_swap_cost));
@@ -916,6 +1064,182 @@ void ServingSystem::redistribute(std::vector<cluster::WorkItem>&& items) {
     }
     item.enqueue_time = now;
     workers_[static_cast<std::size_t>(wid)]->enqueue(item);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault subsystem
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t fault_ns(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+}  // namespace
+
+void ServingSystem::inject_worker_crash(int worker) {
+  LOKI_CHECK_MSG(fault_active_, "fault injection on an inert system");
+  LOKI_CHECK(worker >= 0 && worker < static_cast<int>(workers_.size()));
+  const std::size_t wi = static_cast<std::size_t>(worker);
+  auto& w = *workers_[wi];
+  if (w.crashed()) return;
+  const double now = sim_->now();
+  c_fault_crashes_.add(1);
+  crash_time_[wi] = now;
+  // Stranded items are *held*, not retried immediately: the controller does
+  // not know about the crash until the detector declares the worker dead.
+  std::vector<cluster::WorkItem> lost = w.crash();
+  auto& held = stranded_[wi];
+  held.insert(held.end(), lost.begin(), lost.end());
+  worker_task_[wi] = -1;
+}
+
+void ServingSystem::inject_worker_recover(int worker) {
+  LOKI_CHECK_MSG(fault_active_, "fault injection on an inert system");
+  LOKI_CHECK(worker >= 0 && worker < static_cast<int>(workers_.size()));
+  const std::size_t wi = static_cast<std::size_t>(worker);
+  auto& w = *workers_[wi];
+  if (!w.crashed()) return;
+  const double now = sim_->now();
+  c_fault_recoveries_.add(1);
+  w.recover();
+  // Anything still stranded (the worker came back before the detector
+  // declared it dead) is retried or shed now.
+  resolve_stranded(worker, now);
+  if (dead_since_[wi] < 0.0) {
+    // Never declared dead: no detector transition will restore placement,
+    // so trigger the re-plan directly. The detector catches up at the next
+    // heartbeat via the bumped incarnation.
+    crash_time_[wi] = -1.0;
+    ++fault_epoch_;
+    update_degraded();
+    if (!external_ && strategy_ != nullptr) {
+      c_fault_replans_.add(1);
+      run_resource_manager(/*force=*/true);
+    }
+  }
+  // Declared-dead workers re-plan on the dead -> alive transition instead
+  // (next accepted heartbeat report), which also records recovery time.
+}
+
+void ServingSystem::inject_straggler(int worker, double mult) {
+  LOKI_CHECK_MSG(fault_active_, "fault injection on an inert system");
+  LOKI_CHECK(worker >= 0 && worker < static_cast<int>(workers_.size()));
+  auto& w = *workers_[static_cast<std::size_t>(worker)];
+  if (w.crashed()) return;  // crash already reset the multiplier
+  w.set_exec_multiplier(mult);
+}
+
+void ServingSystem::inject_heartbeat_loss(int worker, bool lost) {
+  LOKI_CHECK_MSG(fault_active_, "fault injection on an inert system");
+  LOKI_CHECK(worker >= 0 && worker < static_cast<int>(workers_.size()));
+  hb_suppressed_[static_cast<std::size_t>(worker)] = lost ? 1 : 0;
+}
+
+void ServingSystem::inject_network_degrade(double extra_delay_s,
+                                           double drop_prob) {
+  LOKI_CHECK_MSG(fault_active_, "fault injection on an inert system");
+  LOKI_CHECK(extra_delay_s >= 0.0 && drop_prob >= 0.0 && drop_prob < 1.0);
+  net_extra_delay_s_ = extra_delay_s;
+  net_drop_prob_ = drop_prob;
+}
+
+void ServingSystem::update_degraded() {
+  const int dead = detector_.dead_count();
+  degraded_ = dead > 0 && fault_epoch_ != planned_fault_epoch_;
+  degraded_shed_frac_ =
+      degraded_ ? std::min(0.9, static_cast<double>(dead) /
+                                    std::max(1.0, static_cast<double>(
+                                                      plan_.servers_used)))
+                : 0.0;
+}
+
+void ServingSystem::resolve_stranded(int worker, double now) {
+  auto& held = stranded_[static_cast<std::size_t>(worker)];
+  if (held.empty()) return;
+  std::vector<cluster::WorkItem> items;
+  items.swap(held);
+  for (auto& item : items) {
+    // Bounded retry-with-deadline: re-dispatch while the end-to-end
+    // deadline still stands and the item has retries left; otherwise the
+    // query is shed-by-failure.
+    if (now <= item.deadline && item.retries < cfg_.fault_max_retries) {
+      const int alt = pick_worker_for_task(item.task);
+      if (alt >= 0) {
+        ++item.retries;
+        c_fault_stranded_retried_.add(1);
+        item.enqueue_time = now;
+        workers_[static_cast<std::size_t>(alt)]->enqueue(item);
+        continue;
+      }
+    }
+    c_fault_stranded_dropped_.add(1);
+    drop_query_part(item.query_id, now, LossCause::kWorkerFailure);
+  }
+}
+
+void ServingSystem::run_failure_detection(double now) {
+  // Heartbeat reports from live, non-suppressed workers. Crashed workers
+  // stop reporting (that *is* the failure signal); heartbeat-loss injection
+  // suppresses reports while the worker keeps serving (false-positive
+  // material — the quarantine costs capacity until the reports resume).
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    auto& w = *workers_[wi];
+    if (w.crashed() || hb_suppressed_[wi]) continue;
+    if (detector_.report(static_cast<int>(wi), w.incarnation(), now) ==
+        fault::FailureDetector::ReportResult::kStale) {
+      c_fault_stale_heartbeats_.add(1);
+    }
+  }
+  detector_.evaluate(now);
+
+  bool dead_set_changed = false;
+  for (const auto& tr : detector_.drain_transitions()) {
+    const std::size_t wi = static_cast<std::size_t>(tr.worker);
+    if (metadata_ != nullptr) {
+      metadata_->record_worker_event(tr.t, tr.worker, tr.incarnation,
+                                     tr.from, tr.to);
+    }
+    switch (tr.to) {
+      case fault::WorkerHealth::kSuspect:
+        c_fault_suspects_.add(1);
+        worker_quarantined_[wi] = 1;
+        break;
+      case fault::WorkerHealth::kDead:
+        c_fault_dead_.add(1);
+        worker_quarantined_[wi] = 1;
+        dead_since_[wi] = now;
+        if (crash_time_[wi] >= 0.0) {
+          h_fault_detect_ns_.add(fault_ns(now - crash_time_[wi]));
+        }
+        // The controller now *knows*: retry/shed whatever was stranded.
+        resolve_stranded(tr.worker, now);
+        dead_set_changed = true;
+        break;
+      case fault::WorkerHealth::kAlive:
+        worker_quarantined_[wi] = 0;
+        if (tr.from == fault::WorkerHealth::kDead) {
+          if (crash_time_[wi] >= 0.0) {
+            h_fault_recovery_ns_.add(fault_ns(now - crash_time_[wi]));
+            crash_time_[wi] = -1.0;
+          }
+          dead_since_[wi] = -1.0;
+          dead_set_changed = true;
+        }
+        break;
+    }
+  }
+
+  if (dead_set_changed) {
+    ++fault_epoch_;
+    update_degraded();
+    // Event-driven re-planning over the surviving worker set. Externally-
+    // planned systems surface the pending epoch to their coordinator via
+    // fault_replan_pending() instead.
+    if (!external_ && strategy_ != nullptr) {
+      c_fault_replans_.add(1);
+      run_resource_manager(/*force=*/true);
+    }
   }
 }
 

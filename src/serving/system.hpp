@@ -32,6 +32,8 @@
 #include "cluster/worker.hpp"
 #include "common/pool.hpp"
 #include "common/rng.hpp"
+#include "fault/detector.hpp"
+#include "fault/plan.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/graph.hpp"
@@ -99,6 +101,19 @@ struct SystemConfig {
   obs::Registry* registry = nullptr;
   std::string metric_prefix = "serving";
   obs::TraceOptions trace;
+  /// Fault injection schedule (src/fault). An *empty* plan with the detector
+  /// disabled keeps the whole fault subsystem inert: no counters registered,
+  /// no RNG drawn, no events armed — differential-tested bit-identical to a
+  /// build without it. A non-empty plan auto-enables the failure detector.
+  fault::FaultPlan fault_plan;
+  /// Heartbeat-timeout failure detection (phi thresholds / report period).
+  /// detector.enabled turns the subsystem on even with an empty plan (e.g.
+  /// when faults are injected via the inject_* entry points directly).
+  fault::DetectorConfig detector;
+  /// Bounded retry for queries stranded on a dead worker: re-dispatched at
+  /// detection time while their deadline still stands and they have retries
+  /// left; shed-by-failure otherwise.
+  int fault_max_retries = 2;
 };
 
 class ServingSystem {
@@ -175,6 +190,41 @@ class ServingSystem {
   /// The sampled per-request tracer (for tests and coordinators).
   const obs::QueryTracer& tracer() const { return tracer_; }
 
+  // --- Fault subsystem (src/fault) -------------------------------------
+  // Entry points invoked by the armed FaultPlan; tests and chaos drivers
+  // may also call them directly (requires fault_active()).
+
+  /// Worker dies now: queue + in-flight batch are stranded (held until the
+  /// detector declares the worker dead, or recovery — whichever first).
+  void inject_worker_crash(int worker);
+  /// Crashed worker returns empty with a bumped incarnation.
+  void inject_worker_recover(int worker);
+  /// Execute-time multiplier for batches started from now on (1 = healthy).
+  void inject_straggler(int worker, double mult);
+  /// Suppress (lost = true) or restore this worker's heartbeat reports; the
+  /// worker keeps serving (failure-detector false-positive material).
+  void inject_heartbeat_loss(int worker, bool lost);
+  /// Cluster-wide network degradation: extra forward delay + drop prob.
+  void inject_network_degrade(double extra_delay_s, double drop_prob);
+
+  /// True when the fault subsystem is armed (non-empty plan or detector
+  /// explicitly enabled). False = all fault state is inert (passivity).
+  bool fault_active() const { return fault_active_; }
+  int crashed_workers() const;
+  /// Workers the failure detector currently believes dead (0 if inert).
+  int detector_dead_workers() const {
+    return fault_active_ ? detector_.dead_count() : 0;
+  }
+  /// True when the detector's view of the dead set changed since the last
+  /// plan was produced — coordinators poll this at window barriers to
+  /// trigger event-driven re-planning.
+  bool fault_replan_pending() const {
+    return fault_active_ && fault_epoch_ != planned_fault_epoch_;
+  }
+  /// Degraded overload mode: dead capacity not yet re-planned around.
+  bool degraded() const { return degraded_; }
+  const fault::FailureDetector& failure_detector() const { return detector_; }
+
  private:
   struct QueryState {
     double arrival = 0.0;
@@ -182,6 +232,9 @@ class ServingSystem {
     int outstanding = 0;
     bool dropped = false;
     bool metered = true;  // false during the warm-up window
+    /// Why the query was lost (first drop wins; kCapacity when not fault-
+    /// related — the pre-fault-subsystem behavior).
+    LossCause cause = LossCause::kCapacity;
     double accuracy_sum = 0.0;
     int sink_completions = 0;
   };
@@ -200,9 +253,21 @@ class ServingSystem {
   bool last_task_filter(const cluster::Worker& w,
                         const cluster::WorkItem& item) const;
 
-  void run_resource_manager();
+  /// `force` skips the demand hysteresis (failure re-plans must always
+  /// produce a fresh plan over the surviving workers).
+  void run_resource_manager(bool force = false);
   void run_load_balancer();
   void run_heartbeat();
+  /// Folds heartbeat reports into the failure detector and handles health
+  /// transitions (quarantine, stranded-query resolution, re-planning).
+  void run_failure_detection(double now);
+  /// Retries or sheds the items stranded on a crashed worker.
+  void resolve_stranded(int worker, double now);
+  /// Recomputes degraded-mode state from the detector's dead count and the
+  /// pending-re-plan flag.
+  void update_degraded();
+  /// Arms cfg_.fault_plan as simulation events (no-op when empty).
+  void arm_configured_faults();
   /// Schedules the periodic control loops (RM only when `with_rm`).
   void schedule_control_loops(bool with_rm);
 
@@ -217,9 +282,13 @@ class ServingSystem {
   /// pre-table runtime did — bit-reproducibility).
   int pick_group(const RoutingPlan::DrawTable& table);
   /// Least-loaded active worker of a group; -1 if the group has none.
+  /// When the fault subsystem is active, quarantined (suspect/dead) workers
+  /// are skipped first and reconsidered only if nothing else is available.
   int pick_worker(int group) const;
   /// Least-loaded active worker hosting `task` (any variant).
   int pick_worker_for_task(int task) const;
+  int scan_group(int group, bool skip_quarantined) const;
+  int scan_task(int task, bool skip_quarantined) const;
 
   void forward_item(cluster::WorkItem item, int group);
   /// Expected remaining time budget below `task` (mean per-task budgets of
@@ -231,7 +300,8 @@ class ServingSystem {
   /// Rebuilds the dense per-(task, variant) latency-budget LUT from the
   /// freshly installed plan's map.
   void rebuild_budget_lut();
-  void drop_query_part(std::uint64_t query_id, double now);
+  void drop_query_part(std::uint64_t query_id, double now,
+                       LossCause cause = LossCause::kCapacity);
   void complete_part(std::uint64_t query_id, double now);
   double runtime_budget(int task, int variant, int batch) const;
   double comm_delay();
@@ -310,6 +380,41 @@ class ServingSystem {
   Rng rng_mult_;
   Rng rng_jitter_;
   Rng rng_shed_;
+  /// Fault-path randomness (degraded shedding, network drops). A dedicated
+  /// substream: drawing here never perturbs the four streams above, and it
+  /// is only drawn when the fault subsystem is active (passivity).
+  Rng rng_fault_;
+
+  // --- Fault subsystem state (all inert when fault_active_ is false) ----
+  bool fault_active_ = false;
+  fault::FailureDetector detector_;
+  std::vector<char> worker_quarantined_;  // suspect/dead: no new routing
+  std::vector<char> hb_suppressed_;       // heartbeat-loss injection
+  std::vector<double> crash_time_;        // -1 = not crashed (latency attr.)
+  std::vector<double> dead_since_;        // -1 = not declared dead
+  /// Items stranded per crashed worker, held until the detector declares
+  /// the worker dead (retry/shed) or the worker recovers first.
+  std::vector<std::vector<cluster::WorkItem>> stranded_;
+  double net_extra_delay_s_ = 0.0;
+  double net_drop_prob_ = 0.0;
+  bool degraded_ = false;
+  double degraded_shed_frac_ = 0.0;
+  /// Bumped whenever the detector's dead set changes; a plan produced at
+  /// epoch e records planned_fault_epoch_ = e. Mismatch = re-plan pending.
+  int fault_epoch_ = 0;
+  int planned_fault_epoch_ = 0;
+  obs::Counter c_fault_crashes_;
+  obs::Counter c_fault_recoveries_;
+  obs::Counter c_fault_suspects_;
+  obs::Counter c_fault_dead_;
+  obs::Counter c_fault_stranded_retried_;
+  obs::Counter c_fault_stranded_dropped_;
+  obs::Counter c_fault_degraded_shed_;
+  obs::Counter c_fault_net_drops_;
+  obs::Counter c_fault_replans_;
+  obs::Counter c_fault_stale_heartbeats_;
+  obs::Histogram h_fault_detect_ns_;
+  obs::Histogram h_fault_recovery_ns_;
 
   /// Per-request stage attribution; shared with every worker via
   /// set_tracer(). Histograms land in the configured registry under

@@ -130,6 +130,42 @@ struct PlanRequest {
   /// Strategies use it for plan-continuity regularization (the old hidden
   /// prev_variants_ state, now caller-owned).
   const AllocationPlan* previous_plan = nullptr;
+  /// Workers currently usable for placement. 0 (the default) means "the full
+  /// configured cluster"; the failure-recovery path sets it to the surviving
+  /// worker count so re-plans after a crash never place instances on dead
+  /// hardware. Strategies clamp their capacity to min(cluster_size, this).
+  int available_workers = 0;
+};
+
+/// Effective placement capacity for one plan() call: the configured cluster
+/// shrunk to the request's surviving-worker count (never below one worker
+/// per task, so every stage keeps a host even in deep degradation).
+inline int effective_cluster_size(int cluster_size, const PlanRequest& req,
+                                  int num_tasks) {
+  if (req.available_workers <= 0 || req.available_workers >= cluster_size) {
+    return cluster_size;
+  }
+  return req.available_workers > num_tasks ? req.available_workers : num_tasks;
+}
+
+/// RAII capacity override for strategy plan() bodies: shrinks the strategy's
+/// configured cluster_size to the request's surviving-worker count for the
+/// duration of one solve, restoring it on exit. With available_workers unset
+/// this stores the same value back — a strict no-op, so fault-free plans are
+/// bit-identical to pre-fault-subsystem behavior.
+class ScopedClusterCapacity {
+ public:
+  ScopedClusterCapacity(int* slot, const PlanRequest& req, int num_tasks)
+      : slot_(slot), saved_(*slot) {
+    *slot = effective_cluster_size(saved_, req, num_tasks);
+  }
+  ~ScopedClusterCapacity() { *slot_ = saved_; }
+  ScopedClusterCapacity(const ScopedClusterCapacity&) = delete;
+  ScopedClusterCapacity& operator=(const ScopedClusterCapacity&) = delete;
+
+ private:
+  int* slot_;
+  int saved_;
 };
 
 /// Solve breakdown for one allocation step ("hardware" / "accuracy" /

@@ -67,6 +67,18 @@ DemandCurve generate_trace(const TraceConfig& cfg) {
     std::size_t len;
     double height;
   };
+  // Pre-sample flash-crowd spike times (seeded substream, so changing
+  // flash_count leaves the noise/burst draws untouched).
+  std::vector<double> flash_times;
+  if (cfg.shape == TraceShape::kFlashCrowd) {
+    LOKI_CHECK(cfg.flash_count >= 0);
+    LOKI_CHECK(cfg.flash_magnitude >= 0.0 && cfg.flash_decay_s > 0.0);
+    Rng flash_rng = rng.stream("flash");
+    for (int i = 0; i < cfg.flash_count; ++i) {
+      flash_times.push_back(flash_rng.uniform(0.0, cfg.duration_s));
+    }
+  }
+
   std::vector<Burst> bursts;
   if (cfg.shape == TraceShape::kTwitterBursty) {
     const double expected =
@@ -106,6 +118,17 @@ DemandCurve generate_trace(const TraceConfig& cfg) {
       case TraceShape::kConstant:
         v = 1.0;
         break;
+      case TraceShape::kFlashCrowd:
+        v = cfg.base_fraction;
+        break;
+    }
+    if (!flash_times.empty()) {
+      const double t = static_cast<double>(i) * cfg.interval_s;
+      for (double t0 : flash_times) {
+        if (t >= t0) {
+          v += cfg.flash_magnitude * std::exp(-(t - t0) / cfg.flash_decay_s);
+        }
+      }
     }
     for (const auto& b : bursts) {
       if (i >= b.start && i < b.start + b.len) {
@@ -120,6 +143,36 @@ DemandCurve generate_trace(const TraceConfig& cfg) {
       v *= std::max(0.0, noise_rng.normal(1.0, cfg.noise_frac));
     }
     curve.qps[i] = std::max(0.0, v * cfg.peak_qps);
+  }
+  return curve;
+}
+
+DemandCurve generate_mmpp_trace(const MmppConfig& cfg) {
+  LOKI_CHECK(cfg.duration_s > 0.0 && cfg.interval_s > 0.0);
+  LOKI_CHECK(!cfg.state_qps.empty());
+  LOKI_CHECK(cfg.state_qps.size() == cfg.mean_dwell_s.size());
+  for (double q : cfg.state_qps) LOKI_CHECK(q >= 0.0);
+  for (double d : cfg.mean_dwell_s) LOKI_CHECK(d > 0.0);
+  const auto states = cfg.state_qps.size();
+  LOKI_CHECK(cfg.initial_state >= 0 &&
+             static_cast<std::size_t>(cfg.initial_state) < states);
+
+  Rng rng = Rng(cfg.seed).stream("mmpp");
+  const auto n = static_cast<std::size_t>(
+      std::ceil(cfg.duration_s / cfg.interval_s));
+  DemandCurve curve;
+  curve.interval_s = cfg.interval_s;
+  curve.qps.resize(n);
+
+  std::size_t state = static_cast<std::size_t>(cfg.initial_state);
+  double next_switch = rng.exponential(1.0 / cfg.mean_dwell_s[state]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * cfg.interval_s;
+    while (next_switch <= t) {
+      state = (state + 1) % states;
+      next_switch += rng.exponential(1.0 / cfg.mean_dwell_s[state]);
+    }
+    curve.qps[i] = cfg.state_qps[state];
   }
   return curve;
 }

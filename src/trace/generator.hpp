@@ -37,6 +37,11 @@ enum class TraceShape {
   kStep,           // low plateau, step to high plateau
   kSine,           // single sinusoid period
   kConstant,
+  /// Flat base with `flash_count` seeded flash-crowd spikes: an *instant*
+  /// rise of `flash_magnitude * peak_qps` that decays exponentially with
+  /// time constant `flash_decay_s` — the worst case for reactive
+  /// autoscaling (no ramp to forecast from), used by the robustness suite.
+  kFlashCrowd,
 };
 
 struct TraceConfig {
@@ -48,11 +53,33 @@ struct TraceConfig {
   double noise_frac = 0.03;   // relative per-sample jitter
   double burst_rate_per_hour = 6.0;  // Twitter shape: expected bursts/hour
   double burst_magnitude = 0.5;      // burst height as fraction of peak
+  int flash_count = 3;          // kFlashCrowd: number of spikes
+  double flash_magnitude = 1.0; // kFlashCrowd: spike height (x peak_qps)
+  double flash_decay_s = 60.0;  // kFlashCrowd: exponential decay constant
   std::uint64_t seed = 42;
 };
 
 /// Generates a demand curve with the requested shape.
 DemandCurve generate_trace(const TraceConfig& config);
+
+/// Markov-modulated Poisson process (MMPP) demand: the rate follows a
+/// continuous-time Markov chain over the `state_qps` levels, dwelling in
+/// state i for an exponential time with mean `mean_dwell_s[i]` and then
+/// cycling to state (i + 1) mod K — for the default two states, a classic
+/// on/off burst process (long calm / short storm). generate_mmpp_trace
+/// renders the piecewise-constant rate as a DemandCurve (ArrivalStream then
+/// turns it into arrival times), so the doubly-stochastic process is fully
+/// deterministic under a pinned seed.
+struct MmppConfig {
+  double duration_s = 600.0;
+  double interval_s = 1.0;
+  std::vector<double> state_qps = {200.0, 1200.0};
+  std::vector<double> mean_dwell_s = {120.0, 20.0};
+  int initial_state = 0;
+  std::uint64_t seed = 42;
+};
+
+DemandCurve generate_mmpp_trace(const MmppConfig& config);
 
 /// Shape-preserving scaling (§6.1): scales amplitude so the peak equals
 /// `target_peak_qps` while preserving the normalized curve shape.

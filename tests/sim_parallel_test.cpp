@@ -18,6 +18,7 @@
 
 #include "common/check.hpp"
 #include "exp/experiment.hpp"
+#include "fault/plan.hpp"
 #include "pipeline/pipelines.hpp"
 #include "sim/parallel.hpp"
 #include "tests/test_support.hpp"
@@ -411,6 +412,82 @@ TEST(WeightedSplit, SkewedCoordinatedRunIsDeterministicAndAccounted) {
   EXPECT_EQ(a.allocations, b.allocations);
   EXPECT_EQ(a.obs.counter_value("exp.shard0.arrivals"),
             b.obs.counter_value("exp.shard0.arrivals"));
+}
+
+// ---------------------------------------------------------------------------
+// Barrier re-weighting (sim_reweight, ROADMAP item 4)
+// ---------------------------------------------------------------------------
+
+TEST(Reweight, ConstantWeightsAreBitIdenticalSharded) {
+  // With no faults the surviving-worker weights never change, so the
+  // windowed re-weighting feeder must reproduce the upfront round-robin
+  // partition bit for bit (equal shares reduce the interleave to
+  // round-robin, and per-arrival scheduling preserves event order).
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto rr = exp::run_experiment(graph, curve, diff_config(2));
+  auto rcfg = diff_config(2);
+  rcfg.sim_reweight = true;
+  const auto rw = exp::run_experiment(graph, curve, rcfg);
+
+  EXPECT_EQ(rw.arrivals, rr.arrivals);
+  EXPECT_EQ(rw.drops, rr.drops);
+  EXPECT_EQ(rw.metrics.completions(), rr.metrics.completions());
+  EXPECT_EQ(rw.metrics.shed(), rr.metrics.shed());
+  EXPECT_DOUBLE_EQ(rw.slo_violation_ratio, rr.slo_violation_ratio);
+  EXPECT_DOUBLE_EQ(rw.mean_accuracy, rr.mean_accuracy);
+  EXPECT_DOUBLE_EQ(rw.mean_latency_s, rr.mean_latency_s);
+  EXPECT_DOUBLE_EQ(rw.p99_latency_s, rr.p99_latency_s);
+  EXPECT_DOUBLE_EQ(rw.mean_servers_used, rr.mean_servers_used);
+  EXPECT_EQ(rw.allocations, rr.allocations);
+}
+
+TEST(Reweight, ConstantWeightsAreBitIdenticalCoordinated) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  const auto rr = exp::run_experiment(graph, curve, coord_config(2, 0));
+  auto rcfg = coord_config(2, 0);
+  rcfg.sim_reweight = true;
+  const auto rw = exp::run_experiment(graph, curve, rcfg);
+
+  EXPECT_EQ(rw.arrivals, rr.arrivals);
+  EXPECT_EQ(rw.drops, rr.drops);
+  EXPECT_EQ(rw.metrics.completions(), rr.metrics.completions());
+  EXPECT_DOUBLE_EQ(rw.slo_violation_ratio, rr.slo_violation_ratio);
+  EXPECT_DOUBLE_EQ(rw.mean_accuracy, rr.mean_accuracy);
+  EXPECT_DOUBLE_EQ(rw.mean_latency_s, rr.mean_latency_s);
+  EXPECT_DOUBLE_EQ(rw.p99_latency_s, rr.p99_latency_s);
+  EXPECT_DOUBLE_EQ(rw.mean_servers_used, rr.mean_servers_used);
+  EXPECT_EQ(rw.allocations, rr.allocations);
+}
+
+TEST(Reweight, CrashShiftsArrivalSplitToSurvivors) {
+  // Kill a worker in shard 0 (global id 1, shares {4, 4}) with no recovery:
+  // from the next window barrier on, shard 0's weight drops to 3 vs 4, so
+  // the surviving shard must end up with strictly more arrivals while the
+  // total and the accounting invariant stay exact.
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = diff_curve();
+
+  auto cfg = diff_config(2);
+  cfg.sim_reweight = true;
+  cfg.fault_plan = fault::crash_plan(1, 10.0, 0.0);
+  const auto r = exp::run_experiment(graph, curve, cfg);
+
+  EXPECT_EQ(r.obs.counter_value("serving.fault.crashes"), 1u);
+  EXPECT_EQ(r.metrics.completions() + r.drops, r.arrivals);
+  const std::uint64_t s0 = r.obs.counter_value("exp.shard0.arrivals");
+  const std::uint64_t s1 = r.obs.counter_value("exp.shard1.arrivals");
+  EXPECT_EQ(s0 + s1, r.arrivals);
+  EXPECT_LT(s0, s1);
+
+  // Deterministic under repeat.
+  const auto r2 = exp::run_experiment(graph, curve, cfg);
+  EXPECT_EQ(r2.obs.counter_value("exp.shard0.arrivals"), s0);
+  EXPECT_EQ(r2.drops, r.drops);
+  EXPECT_DOUBLE_EQ(r2.mean_latency_s, r.mean_latency_s);
 }
 
 // ---------------------------------------------------------------------------

@@ -129,6 +129,102 @@ TEST(Generator, RescaleDurationPreservesNormalizedShape) {
   }
 }
 
+TEST(Generator, FlashCrowdSpikesInstantlyAndDecays) {
+  TraceConfig cfg;
+  cfg.shape = TraceShape::kFlashCrowd;
+  cfg.duration_s = 600.0;
+  cfg.peak_qps = 100.0;
+  cfg.base_fraction = 0.2;
+  cfg.noise_frac = 0.0;
+  cfg.flash_count = 2;
+  cfg.flash_magnitude = 1.0;
+  cfg.flash_decay_s = 30.0;
+  cfg.seed = 7;
+  const auto curve = generate_trace(cfg);
+
+  // The flat base is visible (samples before the first spike) and the
+  // spikes rise well above it.
+  const double base = cfg.base_fraction * cfg.peak_qps;
+  double peak = 0.0;
+  for (double q : curve.qps) peak = std::max(peak, q);
+  EXPECT_GT(peak, base + 0.8 * cfg.flash_magnitude * cfg.peak_qps);
+
+  // A spike is an *instant* rise followed by exponential decay: find the
+  // global max and check it decays afterwards at the configured rate until
+  // the next spike (monotone non-increasing modulo the second spike).
+  std::size_t imax = 0;
+  for (std::size_t i = 0; i < curve.qps.size(); ++i) {
+    if (curve.qps[i] > curve.qps[imax]) imax = i;
+  }
+  ASSERT_GT(imax, 0u);
+  // Instant rise: the sample before the peak sits far below it.
+  EXPECT_LT(curve.qps[imax - 1], curve.qps[imax] - 0.5 * base);
+  // Decay over one time constant: value drops towards the base.
+  const auto decay_idx =
+      imax + static_cast<std::size_t>(cfg.flash_decay_s / cfg.interval_s);
+  if (decay_idx < curve.qps.size()) {
+    EXPECT_LT(curve.qps[decay_idx], curve.qps[imax]);
+  }
+
+  // Fully deterministic under the seed.
+  const auto again = generate_trace(cfg);
+  ASSERT_EQ(again.qps.size(), curve.qps.size());
+  for (std::size_t i = 0; i < curve.qps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.qps[i], curve.qps[i]);
+  }
+
+  // Different seed, different spike times.
+  cfg.seed = 8;
+  const auto other = generate_trace(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < curve.qps.size(); ++i) {
+    differs = differs || other.qps[i] != curve.qps[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, MmppIsPiecewiseConstantOverStateLevels) {
+  MmppConfig cfg;
+  cfg.duration_s = 600.0;
+  cfg.state_qps = {200.0, 1200.0};
+  cfg.mean_dwell_s = {60.0, 15.0};
+  cfg.seed = 11;
+  const auto curve = generate_mmpp_trace(cfg);
+  ASSERT_EQ(curve.qps.size(), 600u);
+
+  // Every sample sits exactly on one of the state levels, and both states
+  // are visited on a 600 s horizon with a 60 s mean calm dwell.
+  bool calm = false;
+  bool storm = false;
+  for (double q : curve.qps) {
+    ASSERT_TRUE(q == 200.0 || q == 1200.0) << q;
+    calm = calm || q == 200.0;
+    storm = storm || q == 1200.0;
+  }
+  EXPECT_TRUE(calm);
+  EXPECT_TRUE(storm);
+  // Starts in the configured initial state.
+  EXPECT_DOUBLE_EQ(curve.qps.front(), 200.0);
+}
+
+TEST(Generator, MmppIsDeterministicUnderSeed) {
+  MmppConfig cfg;
+  cfg.seed = 23;
+  const auto a = generate_mmpp_trace(cfg);
+  const auto b = generate_mmpp_trace(cfg);
+  ASSERT_EQ(a.qps.size(), b.qps.size());
+  for (std::size_t i = 0; i < a.qps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.qps[i], b.qps[i]);
+  }
+  cfg.seed = 24;
+  const auto c = generate_mmpp_trace(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.qps.size(); ++i) {
+    differs = differs || c.qps[i] != a.qps[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
 TEST(Arrivals, PoissonCountMatchesIntegral) {
   DemandCurve c;
   c.interval_s = 1.0;
