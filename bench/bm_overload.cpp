@@ -1,0 +1,188 @@
+// Graceful-degradation benchmark suite (BM_Overload*): what a flash crowd
+// costs each SLO tier, and that the degradation machinery costs nothing
+// while idle.
+//
+//   BM_OverloadTiered - the headline robustness scenario: constant
+//     in-capacity demand that steps to ~2x capacity mid-run (an instant
+//     flash crowd held for the rest of the window) with a worker crash in
+//     the middle of the burst, served under SLO tiers with a
+//     {0.2, 0.4, 0.4} strict/standard/best-effort mix. Exports the
+//     simulation-time outcomes the overload gate reads: per-tier SLO
+//     attainment, the strict tier's shed count (must stay 0 — shedding is
+//     priority-aware and falls on tiers 1-2 only), and accounting_exact
+//     (1 when arrivals == completions + drops held per tier). All are
+//     deterministic under the pinned seed, so the gate bounds them as
+//     absolute invariants, unlike wall times.
+//   BM_OverloadGate - the paired passivity measurement: each iteration runs
+//     one default epoch and one armed-but-inert epoch (tiers enabled with
+//     unreachable watermarks over all-tier-0 traffic, fallback chain
+//     enabled with no deadline) back-to-back. Exports bit_identical (1 when
+//     every simulation metric matched across the arms — the
+//     degradation-off passivity invariant) and overhead_frac (the armed
+//     arm's wall-time ratio - 1). The gate fails when bit_identical is
+//     not 1.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "exp/experiment.hpp"
+#include "fault/plan.hpp"
+#include "pipeline/pipelines.hpp"
+#include "serving/metrics.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace loki;
+
+trace::DemandCurve quiet_curve() {
+  trace::TraceConfig cfg;
+  cfg.shape = trace::TraceShape::kConstant;
+  cfg.duration_s = 60.0;
+  cfg.peak_qps = 40.0;
+  cfg.noise_frac = 0.0;
+  cfg.seed = 9101;
+  return trace::generate_trace(cfg);
+}
+
+/// In-capacity base that steps to ~2x capacity at t = 60 s and holds — the
+/// worst case for reactive shedding (instant rise, no ramp to forecast
+/// from).
+trace::DemandCurve flash_crowd_curve() {
+  trace::TraceConfig cfg;
+  cfg.shape = trace::TraceShape::kStep;
+  cfg.duration_s = 120.0;
+  cfg.peak_qps = 90.0;
+  cfg.base_fraction = 40.0 / 90.0;
+  cfg.noise_frac = 0.0;
+  cfg.seed = 9102;
+  return trace::generate_trace(cfg);
+}
+
+exp::ExperimentConfig overload_config() {
+  exp::ExperimentConfig cfg;
+  cfg.system = "greedy";
+  cfg.system_cfg.allocator.cluster_size = 8;
+  cfg.system_cfg.allocator.slo_s = 0.250;
+  cfg.arrivals.seed = 9103;
+  return cfg;
+}
+
+void BM_OverloadTiered(benchmark::State& state) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = flash_crowd_curve();
+  auto cfg = overload_config();
+  cfg.tiers.enabled = true;
+  cfg.tier_mix = {0.2, 0.4, 0.4};
+  // Tuned for strict-tier protection at the latency knee: a 5 s planning
+  // period bounds the replan lag after the step, the warmup excludes the
+  // cold-start transient, and tight standard/best-effort watermarks keep
+  // queue depth (and hence p99) down for the strict tier, which jumps the
+  // remaining backlog via tier-priority batch formation.
+  cfg.system_cfg.rm_period_s = 5.0;
+  cfg.system_cfg.metrics_warmup_s = 10.0;
+  cfg.tiers.depth_watermark = {64.0, 2.0, 0.5};
+  // Worker 1 dies in the middle of the burst and returns near its end:
+  // degraded-mode shedding composes with tiered overload shedding.
+  cfg.fault_plan = fault::crash_plan(1, 75.0, 100.0);
+
+  std::uint64_t arrivals = 0;
+  exp::ExperimentResult last;
+  for (auto _ : state) {
+    last = exp::run_experiment(graph, curve, cfg);
+    arrivals += last.arrivals;
+    benchmark::DoNotOptimize(last.drops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+  state.counters["arrivals_per_s"] = benchmark::Counter(
+      static_cast<double>(arrivals), benchmark::Counter::kIsRate);
+
+  // Deterministic simulation outputs: identical across iterations.
+  const auto& m = last.metrics;
+  bool exact = m.completions() + last.drops == last.arrivals;
+  std::uint64_t tier_arrivals = 0;
+  for (int k = 0; k < serving::kNumTiers; ++k) {
+    const auto& tc = m.tier(k);
+    exact = exact && tc.arrivals == tc.completions + tc.drops;
+    tier_arrivals += tc.arrivals;
+  }
+  exact = exact && tier_arrivals == last.arrivals;
+  state.counters["accounting_exact"] = exact ? 1.0 : 0.0;
+  state.counters["tier0_attainment"] = m.tier_attainment(0);
+  state.counters["tier1_attainment"] = m.tier_attainment(1);
+  state.counters["tier2_attainment"] = m.tier_attainment(2);
+  state.counters["shed_tier0"] = static_cast<double>(m.tier(0).shed);
+  state.counters["shed_tier12"] =
+      static_cast<double>(m.tier(1).shed + m.tier(2).shed);
+  state.counters["overload_shed"] = static_cast<double>(
+      last.obs.counter_value("serving.degrade.overload_shed"));
+  state.counters["admission_shed"] = static_cast<double>(
+      last.obs.counter_value("serving.degrade.admission_shed"));
+}
+BENCHMARK(BM_OverloadTiered)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+bool same_outcome(const exp::ExperimentResult& a,
+                  const exp::ExperimentResult& b) {
+  return a.arrivals == b.arrivals && a.drops == b.drops &&
+         a.metrics.completions() == b.metrics.completions() &&
+         a.metrics.shed() == b.metrics.shed() &&
+         a.metrics.violations() == b.metrics.violations() &&
+         a.slo_violation_ratio == b.slo_violation_ratio &&  // exact
+         a.mean_latency_s == b.mean_latency_s &&
+         a.mean_accuracy == b.mean_accuracy;
+}
+
+void BM_OverloadGate(benchmark::State& state) {
+  const auto graph = pipeline::traffic_analysis_two_task_pipeline();
+  const auto curve = quiet_curve();
+  const auto off_cfg = overload_config();
+  auto armed_cfg = overload_config();
+  armed_cfg.tiers.enabled = true;
+  armed_cfg.tiers.depth_watermark = {1e18, 1e18, 1e18};  // unreachable
+  armed_cfg.fallback.enabled = true;  // no deadline: primary always wins
+
+  double off_wall = 0.0;
+  double armed_wall = 0.0;
+  bool identical = true;
+  std::uint64_t arrivals = 0;
+  bool armed_first = false;
+  for (auto _ : state) {
+    // Alternate the order so host load ramps hit both arms symmetrically.
+    exp::ExperimentResult off, armed;
+    if (armed_first) {
+      const std::uint64_t t0 = steady_now_ns();
+      armed = exp::run_experiment(graph, curve, armed_cfg);
+      const std::uint64_t t1 = steady_now_ns();
+      off = exp::run_experiment(graph, curve, off_cfg);
+      const std::uint64_t t2 = steady_now_ns();
+      armed_wall += steady_elapsed_s(t0, t1);
+      off_wall += steady_elapsed_s(t1, t2);
+    } else {
+      const std::uint64_t t0 = steady_now_ns();
+      off = exp::run_experiment(graph, curve, off_cfg);
+      const std::uint64_t t1 = steady_now_ns();
+      armed = exp::run_experiment(graph, curve, armed_cfg);
+      const std::uint64_t t2 = steady_now_ns();
+      off_wall += steady_elapsed_s(t0, t1);
+      armed_wall += steady_elapsed_s(t1, t2);
+    }
+    armed_first = !armed_first;
+    identical = identical && same_outcome(off, armed);
+    arrivals += off.arrivals + armed.arrivals;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+  state.counters["overhead_frac"] =
+      off_wall > 0.0 ? armed_wall / off_wall - 1.0 : 0.0;
+  state.counters["bit_identical"] = identical ? 1.0 : 0.0;
+}
+// Per-benchmark MinTime so even the CI --quick run pairs several epochs:
+// bit_identical is exact either way, but overhead_frac needs averaging.
+BENCHMARK(BM_OverloadGate)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Graceful-degradation bench runner: builds bm_overload in Release, runs
+# the BM_Overload* suite (the tiered flash-crowd scenario with a mid-burst
+# crash, and the paired armed-vs-off passivity gate), writes
+# BENCH_overload.json (google-benchmark format plus the top-level schema
+# "version"), and gates the result with check_bench_regression.py
+# --suite overload:
+#   * BM_OverloadGate.bit_identical must be 1 — tiers armed with
+#     unreachable watermarks + a fallback chain with no deadline left every
+#     simulation metric bit-identical to the default run (the
+#     degradation-off passivity invariant);
+#   * the BM_OverloadTiered simulated outcomes are deterministic under the
+#     pinned seed and gated as absolute invariants: accounting_exact == 1
+#     (per-tier arrivals == completions + drops), shed_tier0 == 0
+#     (priority-aware shedding falls exclusively on tiers 1-2), and
+#     tier0_attainment >= 0.99 (the strict tier rides out a 2x flash crowd
+#     plus a mid-burst worker crash);
+#   * per-benchmark items_per_second vs the baseline with the same wide
+#     slack as the other wall-clock suites.
+#
+# Usage: scripts/bench_overload.sh [--quick] [--rebaseline] [output.json]
+#   --quick       one repetition, short min-time (CI smoke; noisy numbers)
+#   --rebaseline  copy the fresh report over the committed baseline instead
+#                 of gating against it
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+rebaseline=0
+out_json="BENCH_overload.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --rebaseline) rebaseline=1 ;;
+    *.json) out_json="$arg" ;;
+    *) echo "usage: $0 [--quick] [--rebaseline] [output.json]" >&2; exit 2 ;;
+  esac
+done
+
+build_dir="${BENCH_BUILD_DIR:-build-release}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+if ! cmake --build "$build_dir" -j "$jobs" --target bm_overload 2>/dev/null
+then
+  echo "bench targets unavailable (Google Benchmark not installed?)" >&2
+  exit 3
+fi
+
+bench_args=(--benchmark_filter='^BM_Overload'
+            --benchmark_out="$out_json" --benchmark_out_format=json)
+if [[ "$quick" == 1 ]]; then
+  # google-benchmark >= 1.8 wants a unit suffix on --benchmark_min_time and
+  # deprecates the bare double; older releases reject the suffix outright.
+  if "$build_dir/bm_overload" --benchmark_min_time=0.01s \
+       --benchmark_list_tests >/dev/null 2>&1; then
+    bench_args+=(--benchmark_min_time=0.01s)
+  else
+    bench_args+=(--benchmark_min_time=0.01)
+  fi
+else
+  bench_args+=(--benchmark_repetitions=3
+               --benchmark_report_aggregates_only=true)
+fi
+
+# Deterministic MILP node budget: both gate arms must solve identical plans.
+LOKI_MILP_NO_TIME_LIMIT=1 "$build_dir/bm_overload" "${bench_args[@]}"
+
+scripts/stamp_bench_version.py "$out_json"
+
+if [[ "$rebaseline" == 1 ]]; then
+  cp "$out_json" bench/BENCH_overload_baseline.json
+  echo "rebaselined bench/BENCH_overload_baseline.json from $out_json"
+else
+  # Passivity + simulated-outcome checks run even on --quick (they compare
+  # exact metric equality and deterministic per-tier outcomes, not wall
+  # time); only the cross-run throughput comparison is skipped.
+  gate_args=(--suite overload)
+  if [[ "$quick" == 1 ]]; then
+    gate_args+=(--max-regress 1000000)
+    echo "(--quick run: throughput floor disabled; gating passivity and"
+    echo " simulated per-tier outcomes only)"
+  fi
+  python3 scripts/check_bench_regression.py "$out_json" "${gate_args[@]}"
+fi

@@ -122,33 +122,80 @@ void Worker::maybe_start_batch() {
   start_batch();
 }
 
+void Worker::account_and_place(double now, WorkItem item,
+                               std::vector<WorkItem>& batch,
+                               std::vector<WorkItem>& dropped) {
+  stage_.queue_wait_s += now - item.enqueue_time;
+  if (tracer_ != nullptr && tracer_->sampled(item.query_id)) {
+    // Decompose the wait: stalled behind a model load until load_done_t_,
+    // held while the worker sat idle filling the micro-batch after
+    // free_since_, queued behind earlier batches in between.
+    const double wait = now - item.enqueue_time;
+    const double swap =
+        std::clamp(load_done_t_ - item.enqueue_time, 0.0, wait);
+    const double hold = std::clamp(
+        now - std::max(free_since_, item.enqueue_time), 0.0, wait - swap);
+    tracer_->add_wait(item.query_id, wait - swap - hold, hold, swap);
+  }
+  if (drop_filter_ && drop_filter_(*this, item)) {
+    dropped.push_back(item);
+  } else {
+    batch.push_back(item);
+  }
+}
+
+void Worker::sort_queue_by_tier() {
+  // Stable reorder of the queue into (tier, arrival) order so the FIFO pop
+  // loop below forms the batch strict-tier-first. Within a tier the arrival
+  // order is preserved, so re-sorting an already tier-sorted queue (and in
+  // particular any single-tier queue) is the identity — batch content, the
+  // drop filter's load() observations, and every downstream accounting step
+  // stay bit-identical to the plain FIFO path.
+  const std::size_t n = queue_.size();
+  bool sorted = true;
+  const auto tier_of = [this](std::size_t i) {
+    const int t = queue_[i].tier;
+    return static_cast<std::size_t>(t < 0 ? 0 : (t > 2 ? 2 : t));
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    if (tier_of(i) < tier_of(i - 1)) {
+      sorted = false;
+      break;
+    }
+  }
+  if (sorted) return;
+  order_scratch_.clear();
+  order_scratch_.resize(n);
+  std::size_t off[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < n; ++i) ++off[tier_of(i) + 1];
+  off[2] += off[1];
+  off[3] += off[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    order_scratch_[off[tier_of(i)]++] = static_cast<std::uint32_t>(i);
+  }
+  // order_scratch_[j] = queue index of the j-th item in sorted order.
+  // Materialize through a recycled vector, then write back.
+  std::vector<WorkItem> tmp = take_scratch();
+  tmp.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    tmp.push_back(queue_[order_scratch_[j]]);
+  }
+  for (std::size_t j = 0; j < n; ++j) queue_[j] = std::move(tmp[j]);
+  recycle_scratch(std::move(tmp));
+}
+
 void Worker::start_batch() {
   // Form a batch of up to max_batch_ items, applying the batching-time drop
   // filter (last-task early dropping). Vectors come from the recycle pool.
   const double now = sim_->now();
+  if (tier_priority_ && queue_.size() > 1) sort_queue_by_tier();
   std::vector<WorkItem> batch = take_scratch();
   std::vector<WorkItem> dropped = take_scratch();
   while (!queue_.empty() &&
          batch.size() < static_cast<std::size_t>(max_batch_)) {
     WorkItem item = queue_.front();
     queue_.pop_front();
-    stage_.queue_wait_s += now - item.enqueue_time;
-    if (tracer_ != nullptr && tracer_->sampled(item.query_id)) {
-      // Decompose the wait: stalled behind a model load until load_done_t_,
-      // held while the worker sat idle filling the micro-batch after
-      // free_since_, queued behind earlier batches in between.
-      const double wait = now - item.enqueue_time;
-      const double swap =
-          std::clamp(load_done_t_ - item.enqueue_time, 0.0, wait);
-      const double hold = std::clamp(
-          now - std::max(free_since_, item.enqueue_time), 0.0, wait - swap);
-      tracer_->add_wait(item.query_id, wait - swap - hold, hold, swap);
-    }
-    if (drop_filter_ && drop_filter_(*this, item)) {
-      dropped.push_back(item);
-    } else {
-      batch.push_back(item);
-    }
+    account_and_place(now, item, batch, dropped);
   }
   if (!dropped.empty() && on_dropped_) {
     on_dropped_(*this, dropped);

@@ -49,6 +49,9 @@ struct WorkItem {
   /// Times this item was re-dispatched after being stranded on a crashed
   /// worker (bounded retry-with-deadline, fault recovery path).
   int retries = 0;
+  /// SLO tier of the owning query (0 = strict .. 2 = best-effort); tier 0
+  /// for every query when tiered serving is off.
+  int tier = 0;
 };
 
 /// Per-stage hot-path counters (queue -> batch -> execute -> swap). Updates
@@ -134,6 +137,15 @@ class Worker {
   void set_batch_wait(double seconds) { batch_wait_s_ = seconds; }
   double batch_wait_s() const { return batch_wait_s_; }
 
+  /// Tier-priority batch formation (SLO tiers): when on, batches are formed
+  /// strict-tier-first, FIFO within a tier, instead of globally FIFO — a
+  /// strict query jumps best-effort backlog instead of waiting behind it.
+  /// With a single-tier queue the (tier, arrival) order IS arrival order, so
+  /// the selection, accounting, and drop decisions are bit-identical to the
+  /// FIFO path — the passivity invariant tiered serving relies on.
+  void set_tier_priority(bool on) { tier_priority_ = on; }
+  bool tier_priority() const { return tier_priority_; }
+
   /// Installs the sampled per-request tracer (may be nullptr = off). The
   /// worker only *records* into it — it never schedules events or draws
   /// randomness on its behalf — so tracing cannot perturb simulation state.
@@ -214,6 +226,13 @@ class Worker {
  private:
   void maybe_start_batch();
   void start_batch();
+  /// Stable reorder of the queue into (tier, arrival) order ahead of batch
+  /// formation. Identity (early-out, no writes) when the queue is already
+  /// tier-sorted — in particular for any single-tier queue.
+  void sort_queue_by_tier();
+  void account_and_place(double now, WorkItem item,
+                         std::vector<WorkItem>& batch,
+                         std::vector<WorkItem>& dropped);
   std::vector<WorkItem> take_scratch();
   void recycle_scratch(std::vector<WorkItem>&& v);
   std::vector<WorkItem> flush_queue();
@@ -239,11 +258,15 @@ class Worker {
   bool busy_ = false;
   bool loading_ = false;
   bool crashed_ = false;
+  bool tier_priority_ = false;
   int incarnation_ = 0;
   double exec_mult_ = 1.0;
   std::size_t inflight_ = 0;
   double batch_wait_s_ = 0.0;
   RingBuffer<WorkItem> queue_;
+  /// Index ordering scratch for tier-priority batch formation (recycled;
+  /// empty and unused on the FIFO path).
+  std::vector<std::uint32_t> order_scratch_;
   /// Recycled batch/drop vectors: capacity survives the round trip through
   /// the completion callback, so steady state allocates nothing.
   std::vector<std::vector<WorkItem>> scratch_;

@@ -236,6 +236,12 @@ class RingBuffer {
     --size_;
   }
 
+  void pop_back() {
+    LOKI_CHECK(size_ > 0);
+    --size_;
+    buf_[(head_ + size_) & (buf_.size() - 1)] = T{};
+  }
+
   /// i-th element from the front (0 = front()).
   T& operator[](std::size_t i) {
     return buf_[(head_ + i) & (buf_.size() - 1)];

@@ -115,28 +115,98 @@ std::vector<int> shard_shares(int cluster, std::size_t shards) {
   return share;
 }
 
+/// The global (timestamp, tier) arrival sequence every feed mode deals
+/// from: the replay verbatim when one is configured, else the sampled
+/// arrival stream with tiers drawn in global arrival order (TierSampler
+/// draws nothing without a tier mix, so tier-less runs are bit-identical).
+struct GlobalArrivals {
+  std::vector<double> t;
+  std::vector<int> tier;  // parallel to t
+};
+
+GlobalArrivals collect_arrivals(const trace::DemandCurve& curve,
+                                const ExperimentConfig& cfg) {
+  GlobalArrivals out;
+  if (!cfg.replay.empty()) {
+    out.t.reserve(cfg.replay.rows.size());
+    out.tier.reserve(cfg.replay.rows.size());
+    for (const trace::ReplayRow& r : cfg.replay.rows) {
+      out.t.push_back(r.t_s);
+      out.tier.push_back(r.tier);
+    }
+    return out;
+  }
+  trace::ArrivalStream stream(curve, cfg.arrivals);
+  trace::TierSampler sampler(cfg.tier_mix, cfg.tier_seed);
+  for (double t = stream.next(); t >= 0.0; t = stream.next()) {
+    out.t.push_back(t);
+    out.tier.push_back(sampler.next());
+  }
+  return out;
+}
+
+/// Simulation end time: past the curve AND any replay tail, plus drain.
+/// Without a replay this is exactly the pre-replay horizon.
+double run_horizon(const trace::DemandCurve& curve,
+                   const ExperimentConfig& cfg) {
+  return std::max(curve.duration_s(), cfg.replay.duration_s()) + cfg.drain_s;
+}
+
+/// Driver-owned fallback rung strategies: when the chain is enabled but the
+/// caller left a rung pointer unset, build the standard rung for it — a
+/// near-warm MILP resolve and a greedy allocator — sized for this system's
+/// cluster slice. Instances must outlive the serving systems that hold the
+/// pointers (declare before the systems vector).
+struct FallbackRungs {
+  std::unique_ptr<serving::AllocationStrategy> near_warm;
+  std::unique_ptr<serving::AllocationStrategy> greedy;
+
+  void fill(serving::FallbackConfig& fb, const serving::AllocatorConfig& alloc,
+            const pipeline::PipelineGraph* graph,
+            const serving::ProfileTable& profiles) {
+    if (!fb.enabled) return;
+    if (fb.near_warm == nullptr) {
+      serving::AllocatorConfig near = alloc;
+      near.near_warm_start = true;
+      near_warm =
+          std::make_unique<serving::MilpAllocator>(near, graph, profiles);
+      fb.near_warm = near_warm.get();
+    }
+    if (fb.greedy == nullptr) {
+      greedy =
+          std::make_unique<serving::GreedyAllocator>(alloc, graph, profiles);
+      fb.greedy = greedy.get();
+    }
+  }
+};
+
 /// Partitions the arrival sequence across shards: round-robin (the
-/// bit-reproducible reference) or share-weighted interleave. Also publishes
-/// each shard's observed-demand counter (exp.shard<k>.arrivals).
+/// bit-reproducible reference) or share-weighted interleave. Tiers travel
+/// with their arrival. Also publishes each shard's observed-demand counter
+/// (exp.shard<k>.arrivals).
 std::vector<std::vector<double>> partition_arrivals(
-    const trace::DemandCurve& curve, const ExperimentConfig& cfg,
-    const std::vector<int>& share, obs::Registry* registry) {
+    const GlobalArrivals& seq, const ExperimentConfig& cfg,
+    const std::vector<int>& share, obs::Registry* registry,
+    std::vector<std::vector<int>>* shard_tiers) {
   const std::size_t shards = share.size();
   std::vector<std::vector<double>> shard_arrivals(shards);
-  trace::ArrivalStream stream(curve, cfg.arrivals);
+  shard_tiers->assign(shards, {});
   if (cfg.sim_weighted_split) {
     std::vector<double> weights(shards);
     for (std::size_t s = 0; s < shards; ++s) {
       weights[s] = static_cast<double>(share[s]);
     }
     WeightedInterleave interleave(std::move(weights));
-    for (double t = stream.next(); t >= 0.0; t = stream.next()) {
-      shard_arrivals[interleave.next()].push_back(t);
+    for (std::size_t j = 0; j < seq.t.size(); ++j) {
+      const std::size_t s = interleave.next();
+      shard_arrivals[s].push_back(seq.t[j]);
+      (*shard_tiers)[s].push_back(seq.tier[j]);
     }
   } else {
-    std::size_t j = 0;
-    for (double t = stream.next(); t >= 0.0; t = stream.next(), ++j) {
-      shard_arrivals[j % shards].push_back(t);
+    for (std::size_t j = 0; j < seq.t.size(); ++j) {
+      const std::size_t s = j % shards;
+      shard_arrivals[s].push_back(seq.t[j]);
+      (*shard_tiers)[s].push_back(seq.tier[j]);
     }
   }
   for (std::size_t s = 0; s < shards; ++s) {
@@ -172,11 +242,13 @@ struct ShardArrivalFeeder {
 
   // Pre-partitioned mode.
   std::vector<std::vector<double>> shard_arrivals;
+  std::vector<std::vector<int>> shard_tiers;
   std::vector<std::size_t> next_idx;
   std::vector<std::function<void()>> pumps;
 
   // Reweight mode.
   std::vector<double> arrivals;  // full sequence, ascending
+  std::vector<int> tiers;        // parallel to arrivals
   std::size_t cursor = 0;
   std::vector<double> weights;  // unnormalized, for change detection
   std::unique_ptr<WeightedInterleave> interleave;
@@ -185,14 +257,14 @@ struct ShardArrivalFeeder {
   void init(const trace::DemandCurve& curve, const ExperimentConfig& cfg,
             obs::Registry* registry) {
     reweight = cfg.sim_reweight;
+    GlobalArrivals seq = collect_arrivals(curve, cfg);
     if (!reweight) {
-      shard_arrivals = partition_arrivals(curve, cfg, share, registry);
+      shard_arrivals =
+          partition_arrivals(seq, cfg, share, registry, &shard_tiers);
       return;
     }
-    trace::ArrivalStream stream(curve, cfg.arrivals);
-    for (double t = stream.next(); t >= 0.0; t = stream.next()) {
-      arrivals.push_back(t);
-    }
+    arrivals = std::move(seq.t);
+    tiers = std::move(seq.tier);
     counters.reserve(share.size());
     for (std::size_t s = 0; s < share.size(); ++s) {
       counters.push_back(
@@ -211,10 +283,11 @@ struct ShardArrivalFeeder {
     pumps.resize(shards);
     for (std::size_t s = 0; s < shards; ++s) {
       pumps[s] = [this, s]() {
-        (*systems)[s]->submit();
-        const std::size_t i = ++next_idx[s];
-        if (i < shard_arrivals[s].size()) {
-          psim->shard(s).schedule_at(shard_arrivals[s][i],
+        const std::size_t i = next_idx[s];
+        (*systems)[s]->submit(shard_tiers[s][i]);
+        const std::size_t j = next_idx[s] = i + 1;
+        if (j < shard_arrivals[s].size()) {
+          psim->shard(s).schedule_at(shard_arrivals[s][j],
                                      [&pump = pumps[s]]() { pump(); });
         }
       };
@@ -256,11 +329,13 @@ struct ShardArrivalFeeder {
 
   void schedule_until(double horizon) {
     while (cursor < arrivals.size() && arrivals[cursor] < horizon) {
-      const double t = arrivals[cursor++];
+      const double t = arrivals[cursor];
+      const int tier = tiers[cursor];
+      ++cursor;
       const std::size_t s = interleave->next();
       counters[s].add(1);
       serving::ServingSystem* sys = (*systems)[s].get();
-      psim->shard(s).schedule_at(t, [sys]() { sys->submit(); });
+      psim->shard(s).schedule_at(t, [sys, tier]() { sys->submit(tier); });
     }
   }
 };
@@ -319,7 +394,10 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
 
   // Each shard gets a proportional slice of the cluster (remainder to the
   // first shards) and its own strategy + serving system + RNG streams
-  // (decorrelated seeds: shards model disjoint replica groups).
+  // (decorrelated seeds: shards model disjoint replica groups). Fallback
+  // rung strategies are per shard too (sized for its slice) and must
+  // outlive the systems holding the pointers.
+  std::vector<FallbackRungs> rungs(shards);
   std::vector<std::unique_ptr<serving::AllocationStrategy>> strategies;
   std::vector<std::unique_ptr<serving::ServingSystem>> systems;
   for (std::size_t s = 0; s < shards; ++s) {
@@ -330,6 +408,9 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
     scfg.trace = cfg.obs_trace;
     if (!shard_faults.empty()) scfg.fault_plan = shard_faults[s];
     scfg.detector = cfg.detector;
+    scfg.tiers = cfg.tiers;
+    scfg.fallback = cfg.fallback;
+    rungs[s].fill(scfg.fallback, scfg.allocator, &graph, profiles);
     strategies.push_back(
         make_strategy(cfg.system, scfg.allocator, &graph, profiles));
     systems.push_back(std::make_unique<serving::ServingSystem>(
@@ -346,7 +427,7 @@ ExperimentResult run_experiment_sharded(const pipeline::PipelineGraph& graph,
         [&feeder](sim::Time now) { feeder.on_barrier(now); });
   }
 
-  const double t_end = curve.duration_s() + cfg.drain_s;
+  const double t_end = run_horizon(curve, cfg);
   psim.run_until(t_end);
 
   serving::Metrics merged(cfg.system_cfg.metrics_window_s);
@@ -437,11 +518,28 @@ ExperimentResult run_experiment_coordinated(
     plan_shares.push_back(cluster / static_cast<int>(shards));
     plan_fracs.push_back(1.0 / static_cast<double>(shards));
   }
+  // The coordinator owns the fallback chain here (one per planned share):
+  // shard systems carry no strategy, so chaining happens around the
+  // barrier-time plan() calls below rather than inside the systems.
+  std::vector<FallbackRungs> rungs(plan_shares.size());
   std::vector<std::unique_ptr<serving::AllocationStrategy>> strategies;
-  for (int ps : plan_shares) {
+  std::vector<std::unique_ptr<serving::PlanFallbackChain>> chains;
+  for (std::size_t pi = 0; pi < plan_shares.size(); ++pi) {
     serving::AllocatorConfig alloc = cfg.system_cfg.allocator;
-    alloc.cluster_size = ps;
+    alloc.cluster_size = plan_shares[pi];
     strategies.push_back(make_strategy(cfg.system, alloc, &graph, profiles));
+    if (cfg.fallback.enabled) {
+      serving::FallbackConfig fb = cfg.fallback;
+      rungs[pi].fill(fb, alloc, &graph, profiles);
+      chains.push_back(std::make_unique<serving::PlanFallbackChain>(
+          strategies.back().get(), fb, &graph, plan_shares[pi]));
+    }
+  }
+  obs::Counter c_plan_fallbacks, c_plan_rejects, c_plan_retained;
+  if (cfg.fallback.enabled) {
+    c_plan_fallbacks = registry->counter("exp.coord.plan_fallbacks");
+    c_plan_rejects = registry->counter("exp.coord.plan_rejects");
+    c_plan_retained = registry->counter("exp.coord.plan_retained");
   }
   // Shard -> plan index (0 everywhere in round-robin mode).
   std::vector<std::size_t> shard_plan(shards, 0);
@@ -464,6 +562,7 @@ ExperimentResult run_experiment_coordinated(
     scfg.trace = cfg.obs_trace;
     if (!shard_faults.empty()) scfg.fault_plan = shard_faults[s];
     scfg.detector = cfg.detector;
+    scfg.tiers = cfg.tiers;  // data-plane tiering runs inside each shard
     systems.push_back(std::make_unique<serving::ServingSystem>(
         &psim.shard(s), &graph, profiles, /*strategy=*/nullptr, scfg));
   }
@@ -554,7 +653,16 @@ ExperimentResult run_experiment_coordinated(
         req.available_workers =
             share[pi] - systems[pi]->detector_dead_workers();
       }
-      serving::PlanResult result = strategies[pi]->plan(req);
+      serving::PlanResult result;
+      if (!chains.empty()) {
+        serving::FallbackOutcome fo = chains[pi]->plan(req);
+        result = std::move(fo.result);
+        c_plan_fallbacks.add(static_cast<std::uint64_t>(fo.fallbacks));
+        c_plan_rejects.add(static_cast<std::uint64_t>(fo.rejects));
+        if (fo.retained_previous) c_plan_retained.add(1);
+      } else {
+        result = strategies[pi]->plan(req);
+      }
       plans[pi] = std::move(result.plan);
       solve_s += plans[pi].solve_time_s;
       ++allocations;
@@ -596,7 +704,7 @@ ExperimentResult run_experiment_coordinated(
   feeder.systems = &systems;
   feeder.arm();
 
-  const double t_end = curve.duration_s() + cfg.drain_s;
+  const double t_end = run_horizon(curve, cfg);
   psim.run_until(t_end);
 
   serving::Metrics merged(cfg.system_cfg.metrics_window_s);
@@ -651,22 +759,42 @@ ExperimentResult run_experiment(const pipeline::PipelineGraph& graph,
     // applies verbatim (no split needed).
     if (!cfg.fault_plan.empty()) scfg.fault_plan = cfg.fault_plan;
     if (cfg.detector.enabled) scfg.detector = cfg.detector;
+    scfg.tiers = cfg.tiers;
+    scfg.fallback = cfg.fallback;
+    FallbackRungs rungs;  // outlives the system holding the rung pointers
+    rungs.fill(scfg.fallback, scfg.allocator, &graph, profiles);
     serving::ServingSystem system(&sim, &graph, profiles, strategy.get(),
                                   scfg);
     system.start();
 
     // Stream arrivals: each arrival event submits and schedules the next
-    // one, keeping the event queue O(in-flight) instead of O(trace).
+    // one, keeping the event queue O(in-flight) instead of O(trace). Tiers
+    // are sampled inline in arrival order (the sampler draws nothing
+    // without a mix, so tier-less runs are bit-identical); a configured
+    // replay is fed by index instead.
     trace::ArrivalStream stream(curve, cfg.arrivals);
-    std::function<void()> pump = [&]() {
-      system.submit();
-      const double next = stream.next();
-      if (next >= 0.0) sim.schedule_at(next, pump);
-    };
-    const double first = stream.next();
-    if (first >= 0.0) sim.schedule_at(first, pump);
+    trace::TierSampler sampler(cfg.tier_mix, cfg.tier_seed);
+    std::size_t replay_idx = 0;
+    std::function<void()> pump;
+    if (!cfg.replay.empty()) {
+      pump = [&]() {
+        system.submit(cfg.replay.rows[replay_idx].tier);
+        if (++replay_idx < cfg.replay.rows.size()) {
+          sim.schedule_at(cfg.replay.rows[replay_idx].t_s, pump);
+        }
+      };
+      sim.schedule_at(cfg.replay.rows[0].t_s, pump);
+    } else {
+      pump = [&]() {
+        system.submit(sampler.next());
+        const double next = stream.next();
+        if (next >= 0.0) sim.schedule_at(next, pump);
+      };
+      const double first = stream.next();
+      if (first >= 0.0) sim.schedule_at(first, pump);
+    }
 
-    const double t_end = curve.duration_s() + cfg.drain_s;
+    const double t_end = run_horizon(curve, cfg);
     sim.run_until(t_end);
     system.finish(t_end);
 

@@ -13,9 +13,11 @@
 #include "fault/plan.hpp"
 #include "obs/registry.hpp"
 #include "pipeline/graph.hpp"
+#include "serving/degrade.hpp"
 #include "serving/system.hpp"
 #include "trace/arrivals.hpp"
 #include "trace/generator.hpp"
+#include "trace/replay.hpp"
 
 namespace loki::exp {
 
@@ -118,6 +120,30 @@ struct ExperimentConfig {
   /// per run), and an optional path to CSV-export the final snapshot.
   obs::TraceOptions obs_trace;
   std::string obs_csv_path;
+  /// SLO-tier policy (graceful degradation, ROADMAP item 4). Disabled by
+  /// default; forwarded to every serving system. With tiers disabled — or
+  /// enabled over all-tier-0 traffic — runs are bit-identical to the
+  /// untiered system (differential-tested in all three sim modes).
+  serving::TierPolicy tiers;
+  /// Per-tier arrival mix, e.g. {0.2, 0.4, 0.4}: each arrival's tier is
+  /// drawn from these weights on a dedicated RNG substream, in global
+  /// arrival order (the same tier sequence regardless of sim mode or shard
+  /// count). Empty = every arrival is tier 0 and NO randomness is drawn —
+  /// tier-less experiments stay bit-identical (passivity).
+  std::vector<double> tier_mix;
+  std::uint64_t tier_seed = 99;
+  /// Control-plane fallback chain around every epoch plan(): MILP within
+  /// the deadline -> near-warm resolve -> greedy -> retain previous plan,
+  /// each gated by plan validation. Disabled by default. The rung-strategy
+  /// pointers may be left null: run_experiment then builds a near-warm MILP
+  /// and a greedy allocator per system (sized for its cluster slice) and
+  /// owns them for the run.
+  serving::FallbackConfig fallback;
+  /// Replay-driven arrivals: when non-empty, the experiment ignores the
+  /// demand curve's arrival sampling (and tier_mix) and feeds the replay's
+  /// exact (timestamp, tier) sequence instead — the curve still drives the
+  /// controllers' demand view, so pass trace::replay_demand_curve(replay).
+  trace::QueryReplay replay;
 };
 
 struct ExperimentResult {

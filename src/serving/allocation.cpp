@@ -592,6 +592,24 @@ struct MilpAllocator::EpochContext {
     /// deterministic, so the cached verdict is exact.
     bool last_no_plan = false;
   };
+  /// Cross-epoch memo for the overload (served-fraction) step. Its
+  /// two-stage solve shares one session and stage B mutates the model in
+  /// place, so the generic StepCache cannot snapshot "the" model; instead
+  /// the stage-A model (captured with its objective set, before stage-B
+  /// mutation) keys a memo of the step's final result. A steady overload
+  /// epoch — same demand, mult and previous-plan variants — returns the
+  /// cached result without touching the solver (reported as an
+  /// epoch_cache_skip); otherwise the persistent session gives the opt-in
+  /// near tier a basis to crash-start from, and the cold path rebuilds it
+  /// exactly as a transient session would (bit-identical pivots).
+  struct OverloadCache {
+    bool has_model = false;
+    solver::LpProblem model;                       // stage-A lp
+    std::vector<std::vector<bool>> prev_variants;  // continuity key
+    bool has_result = false;
+    MilpResult result;
+    solver::ResolveSession session;
+  };
   struct SplitCache {
     std::vector<double> budgets;
     ConfigTable configs;     // all variants (accuracy + overload steps)
@@ -601,6 +619,7 @@ struct MilpAllocator::EpochContext {
     std::vector<std::vector<ConfigPath>> sink_paths;
     std::vector<std::vector<ConfigPath>> sink_paths_hw;
     StepCache steps[2];  // [0] hardware, [1] accuracy
+    OverloadCache overload;
   };
   std::vector<std::vector<double>> splits;
   std::vector<SplitCache> per_split;
@@ -708,6 +727,8 @@ void MilpAllocator::update_profile(int task, int variant,
         sc.feasible ? build_sink_paths(g, sc.configs)
                     : std::vector<std::vector<ConfigPath>>{};
     sc.steps[1] = EpochContext::StepCache();
+    // The overload step builds over the same full config view.
+    sc.overload = EpochContext::OverloadCache();
 
     // The hardware step only sees the most-accurate-variant view; a
     // re-profile of any other variant leaves it (and its retained basis)
@@ -1021,12 +1042,44 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
     for (const auto& vars : n_var) {
       for (int v : vars) lp.set_objective_coeff(v, -kServerPenalty);
     }
-    // Stage A and B share one transient solver session: stage B's model is
-    // stage A's with a different objective and a raised lambda floor, so
-    // its root LP crash-starts from stage A's retained root basis (the
-    // near-identical tier) instead of cold-solving.
-    solver::ResolveSession stage_session;
-    auto solA = bnb.solve(lp, trivial, &stage_session, solver::WarmTier::kCold);
+    // Cross-epoch memo (see OverloadCache): a steady overload epoch — the
+    // stage-A model and the continuity inputs bit-match the last build that
+    // produced a plan — returns that plan without re-solving. Gating on the
+    // stage-A model is sound because stage B is a pure function of stage
+    // A's model and solution (deterministic solver), so equal stage-A
+    // inputs imply an equal final result.
+    auto& oc = split_cache.overload;
+    if (cfg_.warm_start_across_epochs && oc.has_result &&
+        prev_variants == oc.prev_variants &&
+        solver::structurally_equal(lp, oc.model)) {
+      result = oc.result;
+      result.stats = SolverStats{};
+      result.stats.epoch_cache_skips = 1;
+      return result;
+    }
+    // Stage A and B share one solver session: stage B's model is stage A's
+    // with a different objective and a raised lambda floor, so its root LP
+    // crash-starts from stage A's retained root basis (the near-identical
+    // tier) instead of cold-solving. With cross-epoch warm starts the
+    // session persists in the cache — the opt-in near tier then lets a
+    // drifted-demand epoch crash-start stage A from last epoch's basis; a
+    // cold solve resets the session first, so pivots match a transient
+    // session exactly.
+    solver::ResolveSession local_session;
+    solver::ResolveSession* stage_session = &local_session;
+    solver::WarmTier tier_a = solver::WarmTier::kCold;
+    if (cfg_.warm_start_across_epochs) {
+      stage_session = &oc.session;
+      if (cfg_.near_warm_start && oc.has_model &&
+          solver::near_identical(lp, oc.model)) {
+        tier_a = solver::WarmTier::kNearIdentical;
+      }
+      oc.model = lp;  // snapshot before stage B mutates the objective/bounds
+      oc.prev_variants = prev_variants;
+      oc.has_model = true;
+      oc.has_result = false;
+    }
+    auto solA = bnb.solve(lp, trivial, stage_session, tier_a);
     track(solA);
     if (solA.status != solver::MilpStatus::kOptimal &&
         solA.status != solver::MilpStatus::kFeasible) {
@@ -1040,7 +1093,7 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
     lp.set_objective_coeff(lambda_var, 0.0);
     lp.set_bounds(lambda_var, std::max(0.0, lambda_star - 1e-6), 1.0);
     set_accuracy_objective();
-    auto solB = bnb.solve(lp, solA.values, &stage_session,
+    auto solB = bnb.solve(lp, solA.values, stage_session,
                           solver::WarmTier::kNearIdentical);
     track(solB);
     const auto& sol = (solB.status == solver::MilpStatus::kOptimal ||
@@ -1052,6 +1105,10 @@ MilpAllocator::MilpResult MilpAllocator::solve_step(
     extract(sol.values, plan.served_fraction);
     result.feasible = true;
     result.plan = std::move(plan);
+    if (cfg_.warm_start_across_epochs) {
+      oc.result = result;
+      oc.has_result = true;
+    }
     return result;
   }
 

@@ -1,0 +1,133 @@
+#include "serving/degrade.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace loki::serving {
+
+std::array<double, kNumTiers> tier_serve_probs(
+    double serve_frac, const std::array<double, kNumTiers>& shares) {
+  if (serve_frac < 0.0) serve_frac = 0.0;
+  if (serve_frac > 1.0) serve_frac = 1.0;
+  std::array<double, kNumTiers> probs{};
+  double budget = serve_frac;  // serve budget, granted highest-tier-first
+  for (int k = 0; k < kNumTiers; ++k) {
+    const double share = shares[k];
+    if (share > 0.0) {
+      const double take = budget < share ? budget : share;
+      probs[k] = take / share;  // share == 1 reproduces serve_frac exactly
+      budget -= take;
+    } else {
+      probs[k] = budget > 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return probs;
+}
+
+std::array<double, kNumTiers> tier_shed_probs(
+    double shed_frac, const std::array<double, kNumTiers>& shares) {
+  if (shed_frac < 0.0) shed_frac = 0.0;
+  if (shed_frac > 1.0) shed_frac = 1.0;
+  std::array<double, kNumTiers> probs{};
+  double budget = shed_frac;  // shed budget, taken lowest-tier-first
+  for (int k = kNumTiers - 1; k >= 0; --k) {
+    const double share = shares[k];
+    if (share > 0.0) {
+      const double take = budget < share ? budget : share;
+      probs[k] = take / share;  // share == 1 reproduces shed_frac exactly
+      budget -= take;
+    } else {
+      probs[k] = budget > 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return probs;
+}
+
+const char* validate_plan(const AllocationPlan& plan,
+                          const pipeline::PipelineGraph& graph,
+                          int cluster_size) {
+  if (!plan.feasible) return "infeasible";
+  if (!(plan.served_fraction >= 0.0) || plan.served_fraction > 1.0 + 1e-9) {
+    return "served_fraction out of range";
+  }
+  if (!(plan.expected_accuracy >= 0.0) ||
+      plan.expected_accuracy > 1.0 + 1e-9) {
+    return "expected_accuracy out of range";
+  }
+  const int num_tasks = graph.num_tasks();
+  std::vector<int> per_task(static_cast<std::size_t>(num_tasks), 0);
+  int total = 0;
+  for (const InstanceConfig& ic : plan.instances) {
+    if (ic.task < 0 || ic.task >= num_tasks) return "instance task out of range";
+    if (ic.variant < 0) return "instance variant out of range";
+    if (ic.batch < 1) return "instance batch out of range";
+    if (ic.replicas < 0) return "negative replica count";
+    per_task[static_cast<std::size_t>(ic.task)] += ic.replicas;
+    total += ic.replicas;
+  }
+  if (total > cluster_size) return "plan exceeds cluster capacity";
+  // Serving any positive fraction needs every pipeline stage hosted; a
+  // served_fraction ~ 0 overload plan may legitimately place nothing.
+  if (plan.served_fraction > 1e-9) {
+    for (int t = 0; t < num_tasks; ++t) {
+      if (per_task[static_cast<std::size_t>(t)] <= 0) {
+        return "unhosted task";
+      }
+    }
+  }
+  for (const auto& kv : plan.latency_budget_s) {
+    if (!(kv.second > 0.0)) return "non-positive latency budget";
+  }
+  for (const PathFlow& f : plan.flows) {
+    if (!(f.fraction >= 0.0) || f.fraction > 1.0 + 1e-9 ||
+        !std::isfinite(f.fraction)) {
+      return "path flow out of range";
+    }
+  }
+  return nullptr;
+}
+
+FallbackOutcome PlanFallbackChain::plan(const PlanRequest& req) {
+  FallbackOutcome out;
+  const int cap =
+      effective_cluster_size(cluster_size_, req, graph_->num_tasks());
+  AllocationStrategy* rungs[3] = {primary_, cfg_.near_warm, cfg_.greedy};
+  for (int r = 0; r < 3; ++r) {
+    if (rungs[r] == nullptr) continue;
+    PlanResult res = rungs[r]->plan(req);
+    // The deadline gates the solver rungs; greedy (rung 2) always completes
+    // within any sane epoch and is exempt so the chain cannot livelock on a
+    // slow host.
+    if (r < 2 && cfg_.deadline_s > 0.0 &&
+        res.plan.solve_time_s > cfg_.deadline_s) {
+      ++out.fallbacks;
+      continue;
+    }
+    if (const char* reason = validate_plan(res.plan, *graph_, cap)) {
+      (void)reason;
+      ++out.rejects;
+      ++out.fallbacks;
+      continue;
+    }
+    out.rung = r;
+    out.result = std::move(res);
+    return out;
+  }
+  // Terminal rung: retain the previously installed (already validated)
+  // plan. With no previous plan the epoch yields an infeasible placeholder
+  // and the runtime keeps whatever it was doing — degrade, never corrupt.
+  out.rung = 3;
+  out.retained_previous = true;
+  out.result.epoch = req.epoch;
+  if (req.previous_plan != nullptr) {
+    out.result.plan = *req.previous_plan;
+    out.result.plan.solve_time_s = 0.0;
+    out.result.plan.solver = SolverStats{};
+  } else {
+    out.result.plan.feasible = false;
+  }
+  return out;
+}
+
+}  // namespace loki::serving

@@ -1,0 +1,132 @@
+// Graceful degradation (ROADMAP item 4): SLO tiers with priority-aware
+// shedding on the data plane, and a deadline-enforced fallback chain around
+// the Resource Manager's plan() on the control plane. Both are off by
+// default; with tiers disabled (or enabled over all-tier-0 traffic with
+// inert watermarks) and the chain disabled, runs are bit-identical to the
+// pre-degradation system — the shed helpers below are written so the
+// single-tier case reproduces the exact floating-point comparisons the
+// untiered path makes.
+#pragma once
+
+#include <array>
+
+#include "pipeline/graph.hpp"
+#include "serving/metrics.hpp"
+#include "serving/types.hpp"
+
+namespace loki::serving {
+
+/// Data-plane tier policy. Tier 0 is strict, 1 standard, 2 best-effort;
+/// shedding always falls lowest-tier-first (within a tier, latest-deadline
+/// -first: admission-time shedding drops the newest arrival, whose deadline
+/// is by construction the latest outstanding one in its tier).
+struct TierPolicy {
+  bool enabled = false;
+  /// Per-tier admission watermark: shed a tier-k arrival when the tier's
+  /// in-flight query count reaches depth_watermark[k] * max(1, planned
+  /// servers). Strict tiers get deeper queues.
+  std::array<double, kNumTiers> depth_watermark = {64.0, 32.0, 16.0};
+  /// Per-tier deadline headroom for stranded-query retries: a retry is only
+  /// worth dispatching if it can land with headroom_frac[k] * SLO to spare.
+  /// Best-effort queries give up earlier, freeing capacity for strict ones.
+  std::array<double, kNumTiers> headroom_frac = {0.0, 0.1, 0.25};
+  /// Deterministic exponential backoff for stranded-query retries: attempt
+  /// r is re-dispatched retry_backoff_s * 2^r after the strand (replaces
+  /// the fixed fault_max_retries immediate-retry budget when tiers are on).
+  double retry_backoff_s = 0.05;
+  int max_retries = 4;
+  /// EWMA smoothing for the observed per-tier arrival shares that drive the
+  /// shed-probability fill. The first non-empty window seeds the shares
+  /// exactly, and a window whose shares bit-match the current estimate is
+  /// skipped (keeps single-tier traffic at exactly {1, 0, 0}).
+  double share_ewma_alpha = 0.3;
+  /// The frontend routing table can carry an unplaced remainder when the
+  /// plan under-covers demand (e.g. while observed mult factors converge);
+  /// a draw landing there normally sheds tier-blind. With this on, a
+  /// strict-tier (tier 0) arrival hitting the remainder is force-routed to
+  /// the least-loaded worker of the frontend task instead of shed — a
+  /// bounded overcommit (tier 0 is a small share) that keeps routing-
+  /// remainder shedding off the strict tier. Off by default: the remainder
+  /// draw itself consumes no extra RNG, so enabling it changes outcomes
+  /// only for queries that would otherwise have been shed.
+  bool remainder_priority = false;
+};
+
+/// Control-plane fallback chain configuration. Rungs run in order — primary
+/// MILP within the epoch budget, near-warm resolve, greedy, retain previous
+/// plan — each gated by plan validation before install. Rung strategies are
+/// non-owning; the experiment driver owns them.
+struct FallbackConfig {
+  bool enabled = false;
+  /// Epoch plan deadline (seconds of reported solve wall time). Rungs 0-1
+  /// whose solve exceeds it fall through; <= 0 disables the deadline. The
+  /// check is post-hoc (the solve is not preempted) and wall-clock, so a
+  /// tight deadline trades reproducibility for responsiveness — tests force
+  /// a miss with an epsilon deadline instead of relying on host speed.
+  double deadline_s = 0.0;
+  AllocationStrategy* near_warm = nullptr;
+  AllocationStrategy* greedy = nullptr;
+};
+
+/// Per-tier serve probabilities for overload shedding: the serve budget
+/// `serve_frac` (the plan's served fraction) is granted highest-tier-first
+/// across the observed tier shares, so shedding falls strictly lowest-tier
+/// -first. A zero-share tier serves iff budget remains. With shares
+/// {1, 0, 0} the tier-0 probability equals `serve_frac` bit-for-bit, so an
+/// armed single-tier run sheds on the exact comparison the untiered path
+/// uses.
+std::array<double, kNumTiers> tier_serve_probs(
+    double serve_frac, const std::array<double, kNumTiers>& shares);
+
+/// Per-tier shed probabilities for degraded-mode (fault) shedding: the shed
+/// budget `shed_frac` is taken lowest-tier-first across the shares. Dual of
+/// tier_serve_probs, phrased as shed probabilities so the single-tier tier-0
+/// value equals `shed_frac` bit-for-bit (the degraded path draws
+/// bernoulli(shed) rather than comparing against a serve fraction).
+std::array<double, kNumTiers> tier_shed_probs(
+    double shed_frac, const std::array<double, kNumTiers>& shares);
+
+/// Plan-validation gate run before install: capacity/shape/budget sanity.
+/// Returns nullptr when the plan is installable, else a static reason
+/// string (for counters/logs). `cluster_size` is the effective placement
+/// capacity of the epoch (already shrunk by surviving workers).
+const char* validate_plan(const AllocationPlan& plan,
+                          const pipeline::PipelineGraph& graph,
+                          int cluster_size);
+
+/// What one chained plan() call did. rung: 0 primary, 1 near-warm,
+/// 2 greedy, 3 retained previous plan.
+struct FallbackOutcome {
+  PlanResult result;
+  int rung = 0;
+  /// Rungs fallen through (deadline misses + validation rejects).
+  int fallbacks = 0;
+  /// Validation-gate rejections among those.
+  int rejects = 0;
+  bool retained_previous = false;
+};
+
+/// Deadline-enforced fallback chain around an allocation strategy. A
+/// pathological solve can degrade plan quality but can never stall the
+/// epoch loop (rungs 2-3 are cheap and always complete) or corrupt serving
+/// (every rung passes the validation gate; the terminal rung reuses the
+/// already-validated previous plan).
+class PlanFallbackChain {
+ public:
+  /// All pointers non-owning. `cluster_size` is the configured cluster; the
+  /// per-call effective capacity shrinks with PlanRequest::available_workers.
+  PlanFallbackChain(AllocationStrategy* primary, const FallbackConfig& cfg,
+                    const pipeline::PipelineGraph* graph, int cluster_size)
+      : primary_(primary), cfg_(cfg), graph_(graph),
+        cluster_size_(cluster_size) {}
+
+  FallbackOutcome plan(const PlanRequest& req);
+
+ private:
+  AllocationStrategy* primary_;
+  FallbackConfig cfg_;
+  const pipeline::PipelineGraph* graph_;
+  int cluster_size_;
+};
+
+}  // namespace loki::serving

@@ -27,19 +27,23 @@ void Metrics::roll(double t) {
   }
 }
 
-void Metrics::record_arrival(double t) {
+void Metrics::record_arrival(double t, int tier) {
   roll(t);
   ++arrivals_;
   ++w_arrivals_;
+  ++tiers_[clamp_tier(tier)].arrivals;
 }
 
 void Metrics::record_outcome(double t, QueryOutcome outcome, double accuracy,
-                             double latency_s, LossCause cause) {
+                             double latency_s, LossCause cause, int tier) {
   roll(t);
   ++w_done_;
+  TierCounts& tc = tiers_[clamp_tier(tier)];
   switch (outcome) {
     case QueryOutcome::kOnTime:
       ++completions_;
+      ++tc.completions;
+      ++tc.on_time;
       accuracy_.add(accuracy);
       w_accuracy_.add(accuracy);
       latency_.add(latency_s);
@@ -49,6 +53,8 @@ void Metrics::record_outcome(double t, QueryOutcome outcome, double accuracy,
       ++violations_;
       ++late_;
       ++w_violations_;
+      ++tc.completions;
+      ++tc.late;
       accuracy_.add(accuracy);
       w_accuracy_.add(accuracy);
       latency_.add(latency_s);
@@ -58,13 +64,19 @@ void Metrics::record_outcome(double t, QueryOutcome outcome, double accuracy,
       ++drops_;  // drops_ counts every lost query; shed_ is the subset
       ++violations_;
       ++w_violations_;
-      if (cause == LossCause::kWorkerFailure) ++shed_failure_;
+      ++tc.drops;
+      ++tc.shed;
+      if (cause == LossCause::kWorkerFailure) {
+        ++shed_failure_;
+        ++tc.shed_failure;
+      }
       if (cause == LossCause::kDegradedOverload) ++shed_degraded_;
       break;
     case QueryOutcome::kDropped:
       ++drops_;
       ++violations_;
       ++w_violations_;
+      ++tc.drops;
       if (cause == LossCause::kWorkerFailure) ++drops_failure_;
       break;
   }
@@ -87,6 +99,13 @@ void Metrics::record_demand_estimate(double /*t*/, double /*qps*/) {
 void Metrics::record_allocation(double /*t*/, double /*solve_time_s*/,
                                 int /*mode*/) {}
 
+double Metrics::tier_attainment(int t) const {
+  const TierCounts& tc = tiers_[clamp_tier(t)];
+  const std::uint64_t total = tc.completions + tc.drops;
+  if (total == 0) return 1.0;
+  return static_cast<double>(tc.on_time) / static_cast<double>(total);
+}
+
 double Metrics::slo_violation_ratio() const {
   const std::uint64_t total = completions_ + drops_;
   if (total == 0) return 0.0;
@@ -107,6 +126,15 @@ void Metrics::merge(const Metrics& other) {
   drops_failure_ += other.drops_failure_;
   forwards_ += other.forwards_;
   model_swaps_ += other.model_swaps_;
+  for (int t = 0; t < kNumTiers; ++t) {
+    tiers_[t].arrivals += other.tiers_[t].arrivals;
+    tiers_[t].completions += other.tiers_[t].completions;
+    tiers_[t].on_time += other.tiers_[t].on_time;
+    tiers_[t].late += other.tiers_[t].late;
+    tiers_[t].drops += other.tiers_[t].drops;
+    tiers_[t].shed += other.tiers_[t].shed;
+    tiers_[t].shed_failure += other.tiers_[t].shed_failure;
+  }
   accuracy_.merge(other.accuracy_);
   latency_.merge(other.latency_);
   servers_.merge(other.servers_);

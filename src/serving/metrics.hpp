@@ -3,6 +3,7 @@
 // utilization, SLO violation ratio) and the summary numbers quoted in §6.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/stats.hpp"
@@ -17,17 +18,40 @@ enum class QueryOutcome { kOnTime, kLate, kDropped, kShed };
 /// capacity decisions — overload shedding, early dropping — use kCapacity).
 enum class LossCause { kCapacity, kWorkerFailure, kDegradedOverload };
 
+/// SLO tiers: 0 = strict, 1 = standard, 2 = best-effort. Queries without an
+/// explicit tier are tier 0, which keeps single-tier runs on the exact
+/// pre-tier accounting path.
+inline constexpr int kNumTiers = 3;
+
+/// Per-tier terminal accounting. The reconciliation invariant holds per
+/// tier: arrivals == completions + drops (shed is the subset of drops taken
+/// by admission/overload/degraded shedding rather than early dropping).
+struct TierCounts {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t on_time = 0;
+  std::uint64_t late = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t shed = 0;
+  /// Subset of `shed` lost to worker failure (crash-stranded queries whose
+  /// deadline could not be met on retry) rather than to admission/overload
+  /// policy. `shed == shed_failure` means the shedding policy never touched
+  /// this tier — the invariant the strict tier holds under flash crowds.
+  std::uint64_t shed_failure = 0;
+};
+
 class Metrics {
  public:
   explicit Metrics(double window_s = 10.0) : window_s_(window_s) {}
 
-  void record_arrival(double t);
+  void record_arrival(double t, int tier = 0);
   /// Terminal accounting for one client query. `accuracy` is the mean
   /// profiled end-to-end accuracy over the sinks it completed (ignored for
-  /// dropped/shed queries).
+  /// dropped/shed queries). `tier` attributes the outcome to an SLO tier;
+  /// callers that predate tiers default to tier 0.
   void record_outcome(double t, QueryOutcome outcome, double accuracy,
                       double latency_s,
-                      LossCause cause = LossCause::kCapacity);
+                      LossCause cause = LossCause::kCapacity, int tier = 0);
   /// Periodic cluster snapshot: servers in use / total.
   void record_utilization(double t, int servers_used, int cluster_size);
   void record_demand_estimate(double t, double qps);
@@ -53,6 +77,12 @@ class Metrics {
   std::uint64_t drops_by_failure() const { return drops_failure_; }
   std::uint64_t forwards() const { return forwards_; }
   std::uint64_t model_swaps() const { return model_swaps_; }
+  /// Per-tier splits of the totals above (tier clamped into [0, kNumTiers)).
+  const std::array<TierCounts, kNumTiers>& tiers() const { return tiers_; }
+  const TierCounts& tier(int t) const { return tiers_[clamp_tier(t)]; }
+  /// Per-tier SLO attainment: on-time completions over terminal queries
+  /// (completions + drops) of that tier; 1.0 when the tier saw no queries.
+  double tier_attainment(int t) const;
   double slo_violation_ratio() const;
   /// Mean profiled accuracy over queries served on time or late.
   double mean_accuracy() const { return accuracy_.mean(); }
@@ -86,6 +116,9 @@ class Metrics {
 
  private:
   void roll(double t);
+  static int clamp_tier(int t) {
+    return t < 0 ? 0 : (t >= kNumTiers ? kNumTiers - 1 : t);
+  }
 
   double window_s_;
   double window_start_ = 0.0;
@@ -102,6 +135,7 @@ class Metrics {
   std::uint64_t drops_failure_ = 0;
   std::uint64_t forwards_ = 0;
   std::uint64_t model_swaps_ = 0;
+  std::array<TierCounts, kNumTiers> tiers_{};
   RunningStats accuracy_;
   PercentileTracker latency_;
   RunningStats servers_;

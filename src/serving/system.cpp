@@ -89,6 +89,26 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
     h_fault_recovery_ns_ = reg.histogram(fp + "recovery_ns");
   }
 
+  // Graceful degradation: counters armed only when tiers or the fallback
+  // chain are enabled — default-configured systems register nothing, size
+  // nothing, and draw nothing extra (passivity, like the fault subsystem).
+  tiers_active_ = cfg_.tiers.enabled;
+  if (tiers_active_ || cfg_.fallback.enabled) {
+    const std::string dp = cfg_.metric_prefix + ".degrade.";
+    c_degrade_admission_shed_ = reg.counter(dp + "admission_shed");
+    c_degrade_overload_shed_ = reg.counter(dp + "overload_shed");
+    c_degrade_remainder_rescued_ = reg.counter(dp + "remainder_rescued");
+    c_degrade_retries_ = reg.counter(dp + "retries");
+    c_degrade_retry_given_up_ = reg.counter(dp + "retry_given_up");
+    c_degrade_plan_fallbacks_ = reg.counter(dp + "plan_fallbacks");
+    c_degrade_plan_rejects_ = reg.counter(dp + "plan_rejects");
+    c_degrade_plan_retained_ = reg.counter(dp + "plan_retained");
+  }
+  if (cfg_.fallback.enabled && strategy != nullptr) {
+    fallback_chain_ = std::make_unique<PlanFallbackChain>(
+        strategy, cfg_.fallback, graph, cfg_.allocator.cluster_size);
+  }
+
   mult_estimates_ = pipeline::default_mult_factors(*graph_);
   obs_in_.assign(mult_estimates_.size(), {});
   obs_out_.assign(mult_estimates_.size(), {});
@@ -127,6 +147,9 @@ ServingSystem::ServingSystem(sim::Simulation* sim,
     auto w = std::make_unique<cluster::Worker>(i, sim_);
     w->bind_load_cell(&worker_load_[static_cast<std::size_t>(i)]);
     w->set_tracer(&tracer_);
+    // Strict tiers jump best-effort backlog at batch formation; with tiers
+    // off (or single-tier traffic) the formation order is plain FIFO.
+    w->set_tier_priority(tiers_active_);
     w->set_batch_done([this](cluster::Worker& wk,
                              std::vector<cluster::WorkItem>& items,
                              const cluster::Worker::BatchContext& ctx) {
@@ -362,38 +385,97 @@ void ServingSystem::rebuild_budget_lut() {
 // Frontend
 // ---------------------------------------------------------------------------
 
-void ServingSystem::submit() {
+void ServingSystem::submit() { submit(/*tier=*/0); }
+
+void ServingSystem::submit(int tier) {
+  if (tier < 0) tier = 0;
+  if (tier >= kNumTiers) tier = kNumTiers - 1;
   const double now = sim_->now();
   const bool metered = now >= cfg_.metrics_warmup_s;
-  if (metered) metrics_.record_arrival(now);
+  if (metered) metrics_.record_arrival(now, tier);
   demand_.record_arrival(now);
   task_window_arrivals_[static_cast<std::size_t>(root_task_)] += 1.0;
+  if (tiers_active_) {
+    tier_window_arrivals_[static_cast<std::size_t>(tier)] += 1.0;
+  }
 
   // Degraded overload mode (fault subsystem): dead capacity the plan has
   // not yet been rebuilt around — shed the lost-capacity fraction at the
   // frontend so the surviving workers keep meeting their latency budgets
-  // instead of queueing everything into SLO violations.
+  // instead of queueing everything into SLO violations. With tiers the
+  // fraction is filled lowest-tier-first (single-tier traffic draws the
+  // exact untiered probability — see tier_shed_probs).
   if (fault_active_ && degraded_ &&
-      rng_fault_.bernoulli(degraded_shed_frac_)) {
+      rng_fault_.bernoulli(tiers_active_
+                               ? tier_degraded_shed_[static_cast<std::size_t>(
+                                     tier)]
+                               : degraded_shed_frac_)) {
     c_fault_degraded_shed_.add(1);
     if (metered) {
       metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0,
-                              LossCause::kDegradedOverload);
+                              LossCause::kDegradedOverload, tier);
     }
     return;
   }
 
+  // Priority-aware admission control: a tier whose in-flight depth reached
+  // its watermark sheds the new arrival (the newest arrival carries the
+  // latest deadline of its tier, so admission-time shedding IS latest-
+  // deadline-first within the tier). Deterministic — no RNG drawn.
+  if (tiers_active_) {
+    const double cap =
+        cfg_.tiers.depth_watermark[static_cast<std::size_t>(tier)] *
+        static_cast<double>(std::max(1, plan_.servers_used));
+    if (static_cast<double>(tier_inflight_[static_cast<std::size_t>(tier)]) >=
+        cap) {
+      c_degrade_admission_shed_.add(1);
+      if (metered) {
+        metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0,
+                                LossCause::kCapacity, tier);
+      }
+      return;
+    }
+  }
+
   // Overload shedding: the plan serves only served_fraction of demand.
-  if (plan_.served_fraction < 1.0 &&
-      rng_shed_.uniform() > plan_.served_fraction) {
-    if (metered) metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0);
-    return;
+  // Tiered serving grants the fraction highest-tier-first; the single draw
+  // against the tier's serve probability keeps the RNG stream in lockstep
+  // with the untiered comparison.
+  if (plan_.served_fraction < 1.0) {
+    const double serve_p =
+        tiers_active_ ? tier_serve_probs_[static_cast<std::size_t>(tier)]
+                      : plan_.served_fraction;
+    if (rng_shed_.uniform() > serve_p) {
+      if (tiers_active_) c_degrade_overload_shed_.add(1);
+      if (metered) {
+        metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0,
+                                LossCause::kCapacity, tier);
+      }
+      return;
+    }
   }
 
   const int group = pick_group(routing_.frontend_table());
   if (group < 0) {
-    if (metered) metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0);
-    return;
+    // The draw landed in the table's unplaced remainder (or the table is
+    // empty): normally a tier-blind shed. With remainder_priority, a
+    // strict-tier arrival is force-routed instead — forward_item with no
+    // group falls through to the least-loaded worker of the frontend task
+    // (a bounded overcommit), and only sheds if no such worker exists.
+    const bool rescue = tiers_active_ && cfg_.tiers.remainder_priority &&
+                        tier == 0 &&
+                        pick_worker_for_task(root_task_) >= 0;
+    if (!rescue) {
+      if (metered) {
+        metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, 0.0,
+                                any_worker_crashed()
+                                    ? LossCause::kWorkerFailure
+                                    : LossCause::kCapacity,
+                                tier);
+      }
+      return;
+    }
+    c_degrade_remainder_rescued_.add(1);
   }
   const std::uint64_t qid = queries_.emplace();
   QueryState& qs = queries_.get(qid);
@@ -401,6 +483,8 @@ void ServingSystem::submit() {
   qs.deadline = now + cfg_.allocator.slo_s;
   qs.outstanding = 1;
   qs.metered = metered;
+  qs.tier = tier;
+  ++tier_inflight_[static_cast<std::size_t>(tier)];
   c_admitted_.add(1);
   tracer_.on_admit(qid, now);
 
@@ -409,6 +493,7 @@ void ServingSystem::submit() {
   item.task = root_task_;
   item.deadline = qs.deadline;
   item.accuracy_so_far = 1.0;
+  item.tier = tier;
   forward_item(item, group);
 }
 
@@ -487,6 +572,14 @@ int ServingSystem::pick_worker_for_task(int task) const {
   return scan_task(task, /*skip_quarantined=*/false);
 }
 
+bool ServingSystem::any_worker_crashed() const {
+  if (!fault_active_) return false;
+  for (const auto& w : workers_) {
+    if (w->crashed()) return true;
+  }
+  return false;
+}
+
 void ServingSystem::forward_item(cluster::WorkItem item, int group) {
   int wid = pick_worker(group);
   if (wid < 0) {
@@ -495,7 +588,9 @@ void ServingSystem::forward_item(cluster::WorkItem item, int group) {
     wid = pick_worker_for_task(item.task);
   }
   if (wid < 0) {
-    drop_query_part(item.query_id, sim_->now());
+    drop_query_part(item.query_id, sim_->now(),
+                    any_worker_crashed() ? LossCause::kWorkerFailure
+                                         : LossCause::kCapacity);
     return;
   }
   // Network fault injection: degraded links drop forwards outright.
@@ -514,8 +609,9 @@ void ServingSystem::forward_item(cluster::WorkItem item, int group) {
       const int alt = pick_worker_for_task(item.task);
       if (alt < 0) {
         drop_query_part(item.query_id, sim_->now(),
-                        w.crashed() ? LossCause::kWorkerFailure
-                                    : LossCause::kCapacity);
+                        w.crashed() || any_worker_crashed()
+                            ? LossCause::kWorkerFailure
+                            : LossCause::kCapacity);
         return;
       }
       item.enqueue_time = sim_->now();
@@ -635,6 +731,7 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
             next.deadline = item.deadline;
             next.accuracy_so_far = item.accuracy_so_far;
             next.debt_s = item.debt_s;
+            next.tier = item.tier;
             metrics_.record_forwards(1);
             qstate->outstanding += 1;
             const double delay = comm_delay();
@@ -712,6 +809,7 @@ void ServingSystem::on_batch_done(cluster::Worker& w,
       next.deadline = item.deadline;
       next.accuracy_so_far = item.accuracy_so_far;
       next.debt_s = item.debt_s;
+      next.tier = item.tier;
       qstate->outstanding += 1;
       forward_item(next, f.group);
     }
@@ -740,6 +838,7 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
   // not) so record slots recycle in lockstep with pool slots.
   tracer_.on_complete(query_id, now, qs.dropped);
 
+  --tier_inflight_[static_cast<std::size_t>(qs.tier)];
   const double latency = now - qs.arrival;
   if (!qs.metered) {
     queries_.erase(query_id);
@@ -750,10 +849,11 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
     // / shed-by-degradation); plain capacity drops keep the pre-fault
     // accounting bit-identical.
     if (qs.cause == LossCause::kCapacity) {
-      metrics_.record_outcome(now, QueryOutcome::kDropped, 0.0, latency);
+      metrics_.record_outcome(now, QueryOutcome::kDropped, 0.0, latency,
+                              qs.cause, qs.tier);
     } else {
       metrics_.record_outcome(now, QueryOutcome::kShed, 0.0, latency,
-                              qs.cause);
+                              qs.cause, qs.tier);
     }
   } else {
     const double acc =
@@ -763,7 +863,7 @@ void ServingSystem::complete_part(std::uint64_t query_id, double now) {
     const bool late = now > qs.deadline + 1e-9;
     metrics_.record_outcome(now, late ? QueryOutcome::kLate
                                       : QueryOutcome::kOnTime,
-                            acc, latency);
+                            acc, latency, LossCause::kCapacity, qs.tier);
   }
   queries_.erase(query_id);
 }
@@ -815,7 +915,29 @@ void ServingSystem::run_resource_manager(bool force) {
     req.available_workers =
         cfg_.allocator.cluster_size - detector_.dead_count();
   }
-  PlanResult result = strategy_->plan(req);
+  PlanResult result;
+  if (fallback_chain_ != nullptr) {
+    // Deadline-enforced fallback chain (graceful degradation): a slow or
+    // invalid solve degrades plan quality rung by rung but never stalls
+    // the epoch loop or installs a corrupt plan.
+    FallbackOutcome fo = fallback_chain_->plan(req);
+    result = std::move(fo.result);
+    last_plan_rung_ = fo.rung;
+    if (fo.fallbacks > 0) {
+      plan_fallbacks_ += static_cast<std::uint64_t>(fo.fallbacks);
+      c_degrade_plan_fallbacks_.add(static_cast<std::uint64_t>(fo.fallbacks));
+    }
+    if (fo.rejects > 0) {
+      plan_rejects_ += static_cast<std::uint64_t>(fo.rejects);
+      c_degrade_plan_rejects_.add(static_cast<std::uint64_t>(fo.rejects));
+    }
+    if (fo.retained_previous) {
+      ++plans_retained_;
+      c_degrade_plan_retained_.add(1);
+    }
+  } else {
+    result = strategy_->plan(req);
+  }
   AllocationPlan plan = std::move(result.plan);
   has_plan_ = true;
   last_alloc_demand_ = demand;
@@ -840,6 +962,42 @@ void ServingSystem::run_load_balancer() {
   const double now = sim_->now();
   routing_ =
       lb_.most_accurate_first(plan_, demand_.estimate(now), mult_estimates_);
+  refresh_tier_shares();
+}
+
+void ServingSystem::refresh_tier_shares() {
+  if (!tiers_active_) return;
+  double total = 0.0;
+  for (double v : tier_window_arrivals_) total += v;
+  if (total > 0.0) {
+    std::array<double, kNumTiers> obs{};
+    for (int k = 0; k < kNumTiers; ++k) {
+      obs[static_cast<std::size_t>(k)] =
+          tier_window_arrivals_[static_cast<std::size_t>(k)] / total;
+    }
+    if (!tier_shares_seeded_) {
+      // Seed from the first non-empty window exactly (no blend with the
+      // {1, 0, 0} prior): an all-tier-0 run keeps shares at exactly
+      // {1, 0, 0} forever, which the shed fills rely on for passivity.
+      tier_shares_ = obs;
+      tier_shares_seeded_ = true;
+    } else if (obs != tier_shares_) {
+      const double a = cfg_.tiers.share_ewma_alpha;
+      for (int k = 0; k < kNumTiers; ++k) {
+        tier_shares_[static_cast<std::size_t>(k)] =
+            a * obs[static_cast<std::size_t>(k)] +
+            (1.0 - a) * tier_shares_[static_cast<std::size_t>(k)];
+      }
+    }
+    tier_window_arrivals_.fill(0.0);
+  }
+  recompute_tier_probs();
+}
+
+void ServingSystem::recompute_tier_probs() {
+  if (!tiers_active_) return;
+  tier_serve_probs_ = tier_serve_probs(plan_.served_fraction, tier_shares_);
+  tier_degraded_shed_ = tier_shed_probs(degraded_shed_frac_, tier_shares_);
 }
 
 void ServingSystem::run_heartbeat() {
@@ -1152,6 +1310,7 @@ void ServingSystem::update_degraded() {
                                     std::max(1.0, static_cast<double>(
                                                       plan_.servers_used)))
                 : 0.0;
+  recompute_tier_probs();
 }
 
 void ServingSystem::resolve_stranded(int worker, double now) {
@@ -1159,21 +1318,72 @@ void ServingSystem::resolve_stranded(int worker, double now) {
   if (held.empty()) return;
   std::vector<cluster::WorkItem> items;
   items.swap(held);
-  for (auto& item : items) {
-    // Bounded retry-with-deadline: re-dispatch while the end-to-end
-    // deadline still stands and the item has retries left; otherwise the
-    // query is shed-by-failure.
-    if (now <= item.deadline && item.retries < cfg_.fault_max_retries) {
-      const int alt = pick_worker_for_task(item.task);
-      if (alt >= 0) {
-        ++item.retries;
-        c_fault_stranded_retried_.add(1);
-        item.enqueue_time = now;
-        workers_[static_cast<std::size_t>(alt)]->enqueue(item);
-        continue;
+  if (!tiers_active_) {
+    for (auto& item : items) {
+      // Bounded retry-with-deadline: re-dispatch while the end-to-end
+      // deadline still stands and the item has retries left; otherwise the
+      // query is shed-by-failure.
+      if (now <= item.deadline && item.retries < cfg_.fault_max_retries) {
+        const int alt = pick_worker_for_task(item.task);
+        if (alt >= 0) {
+          ++item.retries;
+          c_fault_stranded_retried_.add(1);
+          item.enqueue_time = now;
+          workers_[static_cast<std::size_t>(alt)]->enqueue(item);
+          continue;
+        }
       }
+      c_fault_stranded_dropped_.add(1);
+      drop_query_part(item.query_id, now, LossCause::kWorkerFailure);
+    }
+    return;
+  }
+
+  // Tiered stranded recovery: strict tiers re-dispatch first (earliest
+  // deadline first within a tier — the resources freed by giving up on
+  // hopeless best-effort items go to strict ones), and the fixed
+  // immediate-retry budget becomes deterministic exponential backoff:
+  // attempt r waits retry_backoff_s * 2^r, and is only worth dispatching
+  // if it can still land with the tier's deadline headroom to spare.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const cluster::WorkItem& a, const cluster::WorkItem& b) {
+                     if (a.tier != b.tier) return a.tier < b.tier;
+                     return a.deadline < b.deadline;
+                   });
+  for (auto& item : items) {
+    const int tier =
+        item.tier < 0 ? 0 : (item.tier >= kNumTiers ? kNumTiers - 1
+                                                    : item.tier);
+    const int shift = item.retries < 30 ? item.retries : 30;
+    const double delay =
+        cfg_.tiers.retry_backoff_s * static_cast<double>(1u << shift);
+    const double headroom =
+        cfg_.tiers.headroom_frac[static_cast<std::size_t>(tier)] *
+        cfg_.allocator.slo_s;
+    if (item.retries < cfg_.tiers.max_retries &&
+        now + delay + headroom <= item.deadline) {
+      ++item.retries;
+      c_fault_stranded_retried_.add(1);
+      c_degrade_retries_.add(1);
+      cluster::WorkItem copy = item;
+      sim_->schedule_after(delay, [this, copy]() mutable {
+        const double t = sim_->now();
+        const int alt = stopped_ ? -1 : pick_worker_for_task(copy.task);
+        if (alt < 0) {
+          // Run over, or still nowhere to go: shed-by-failure so the
+          // per-tier accounting reconciles exactly.
+          c_fault_stranded_dropped_.add(1);
+          c_degrade_retry_given_up_.add(1);
+          drop_query_part(copy.query_id, t, LossCause::kWorkerFailure);
+          return;
+        }
+        copy.enqueue_time = t;
+        workers_[static_cast<std::size_t>(alt)]->enqueue(copy);
+      });
+      continue;
     }
     c_fault_stranded_dropped_.add(1);
+    c_degrade_retry_given_up_.add(1);
     drop_query_part(item.query_id, now, LossCause::kWorkerFailure);
   }
 }

@@ -33,6 +33,7 @@
 #include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "fault/detector.hpp"
+#include "serving/degrade.hpp"
 #include "fault/plan.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -112,8 +113,14 @@ struct SystemConfig {
   fault::DetectorConfig detector;
   /// Bounded retry for queries stranded on a dead worker: re-dispatched at
   /// detection time while their deadline still stands and they have retries
-  /// left; shed-by-failure otherwise.
+  /// left; shed-by-failure otherwise. When tiers are enabled the TierPolicy
+  /// backoff schedule replaces this fixed budget.
   int fault_max_retries = 2;
+  /// Graceful degradation (src/serving/degrade.hpp). Tiers off keeps the
+  /// data plane bit-identical to the untiered system; fallback off keeps
+  /// plan() a direct strategy call. Differential-tested inert.
+  TierPolicy tiers;
+  FallbackConfig fallback;
 };
 
 class ServingSystem {
@@ -148,7 +155,12 @@ class ServingSystem {
   void install_plan(AllocationPlan plan);
 
   /// Client query arriving now (drives one end-to-end pipeline execution).
+  /// Equivalent to submit(0): untiered callers produce strict-tier traffic.
   void submit();
+  /// Tiered submission (0 = strict, 1 = standard, 2 = best-effort; clamped).
+  /// With cfg.tiers.enabled this runs priority-aware admission control and
+  /// shedding; otherwise the tier only labels the per-tier accounting.
+  void submit(int tier);
 
   /// Stops periodic events and flushes metrics windows at `t_end`.
   void finish(double t_end);
@@ -225,6 +237,22 @@ class ServingSystem {
   bool degraded() const { return degraded_; }
   const fault::FailureDetector& failure_detector() const { return detector_; }
 
+  // --- Graceful degradation (src/serving/degrade.hpp) -------------------
+
+  /// True when tiered admission/shedding runs (cfg.tiers.enabled).
+  bool tiers_active() const { return tiers_active_; }
+  /// Current per-tier serve probabilities under overload ({1,1,1} at full
+  /// service). Diagnostics/tests.
+  const std::array<double, kNumTiers>& tier_serve_probabilities() const {
+    return tier_serve_probs_;
+  }
+  /// Fallback-chain accounting (all zero when the chain is disabled).
+  std::uint64_t plan_fallbacks() const { return plan_fallbacks_; }
+  std::uint64_t plan_rejects() const { return plan_rejects_; }
+  std::uint64_t plans_retained() const { return plans_retained_; }
+  /// Rung that produced the most recent plan (0 primary .. 3 retained).
+  int last_plan_rung() const { return last_plan_rung_; }
+
  private:
   struct QueryState {
     double arrival = 0.0;
@@ -237,6 +265,8 @@ class ServingSystem {
     LossCause cause = LossCause::kCapacity;
     double accuracy_sum = 0.0;
     int sink_completions = 0;
+    /// SLO tier (0 strict .. 2 best-effort); drives per-tier accounting.
+    int tier = 0;
   };
 
   /// One committed fan-out decision awaiting dispatch (scratch-pooled).
@@ -266,6 +296,12 @@ class ServingSystem {
   /// Recomputes degraded-mode state from the detector's dead count and the
   /// pending-re-plan flag.
   void update_degraded();
+  /// Folds the per-tier arrival window into the EWMA tier shares (no RNG;
+  /// no-op when tiers are off) and refreshes the shed probabilities.
+  void refresh_tier_shares();
+  /// Rebuilds the per-tier serve/shed probability fills from the plan's
+  /// served fraction, the degraded shed fraction and the current shares.
+  void recompute_tier_probs();
   /// Arms cfg_.fault_plan as simulation events (no-op when empty).
   void arm_configured_faults();
   /// Schedules the periodic control loops (RM only when `with_rm`).
@@ -289,6 +325,11 @@ class ServingSystem {
   int pick_worker_for_task(int task) const;
   int scan_group(int group, bool skip_quarantined) const;
   int scan_task(int task, bool skip_quarantined) const;
+  /// True while any worker is crashed. Routing-gap losses (no staffed
+  /// group / no worker for a task) during an outage are crash collateral
+  /// and attributed to kWorkerFailure, not to shedding policy; only the
+  /// loss paths call this, so the O(workers) scan is off the hot path.
+  bool any_worker_crashed() const;
 
   void forward_item(cluster::WorkItem item, int group);
   /// Expected remaining time budget below `task` (mean per-task budgets of
@@ -415,6 +456,35 @@ class ServingSystem {
   obs::Counter c_fault_stale_heartbeats_;
   obs::Histogram h_fault_detect_ns_;
   obs::Histogram h_fault_recovery_ns_;
+
+  // --- Graceful degradation (inert unless tiers/fallback enabled) -------
+  bool tiers_active_ = false;
+  /// EWMA per-tier arrival shares driving the shed-probability fills. The
+  /// first non-empty window seeds them exactly, and a bit-identical window
+  /// skips the blend — single-tier traffic stays at exactly {1, 0, 0} so
+  /// the tiered shed comparisons reproduce the untiered ones bit-for-bit.
+  std::array<double, kNumTiers> tier_shares_ = {1.0, 0.0, 0.0};
+  bool tier_shares_seeded_ = false;
+  std::array<double, kNumTiers> tier_window_arrivals_{};
+  /// In-flight admitted queries per tier (watermark admission control).
+  std::array<std::int64_t, kNumTiers> tier_inflight_{};
+  std::array<double, kNumTiers> tier_serve_probs_ = {1.0, 1.0, 1.0};
+  std::array<double, kNumTiers> tier_degraded_shed_{};
+  /// Deadline-enforced plan() fallback chain (built when cfg.fallback is
+  /// enabled and the system owns its Resource Manager).
+  std::unique_ptr<PlanFallbackChain> fallback_chain_;
+  std::uint64_t plan_fallbacks_ = 0;
+  std::uint64_t plan_rejects_ = 0;
+  std::uint64_t plans_retained_ = 0;
+  int last_plan_rung_ = 0;
+  obs::Counter c_degrade_admission_shed_;
+  obs::Counter c_degrade_overload_shed_;
+  obs::Counter c_degrade_remainder_rescued_;
+  obs::Counter c_degrade_retries_;
+  obs::Counter c_degrade_retry_given_up_;
+  obs::Counter c_degrade_plan_fallbacks_;
+  obs::Counter c_degrade_plan_rejects_;
+  obs::Counter c_degrade_plan_retained_;
 
   /// Per-request stage attribution; shared with every worker via
   /// set_tracer(). Histograms land in the configured registry under

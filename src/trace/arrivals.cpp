@@ -47,4 +47,30 @@ std::vector<double> sample_arrivals(const DemandCurve& curve,
   return out;
 }
 
+TierSampler::TierSampler(const std::vector<double>& weights,
+                         std::uint64_t seed)
+    : rng_(Rng(seed).stream("tier")) {
+  double total = 0.0;
+  for (double w : weights) {
+    LOKI_CHECK_MSG(w >= 0.0, "tier weights must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) return;  // stays inactive: all tier 0, no draws
+  double acc = 0.0;
+  cum_.reserve(weights.size());
+  for (double w : weights) {
+    acc += w / total;
+    cum_.push_back(acc);
+  }
+}
+
+int TierSampler::next() {
+  if (cum_.empty()) return 0;
+  const double u = rng_.uniform();
+  for (std::size_t k = 0; k + 1 < cum_.size(); ++k) {
+    if (u < cum_[k]) return static_cast<int>(k);
+  }
+  return static_cast<int>(cum_.size()) - 1;
+}
+
 }  // namespace loki::trace

@@ -42,4 +42,24 @@ class ArrivalStream {
   double rate_cap_ = 0.0;  // thinning envelope (curve peak)
 };
 
+/// Stamps SLO tiers onto an arrival sequence: tier k is drawn with
+/// probability weights[k] / sum(weights) on a dedicated RNG substream, one
+/// draw per arrival in arrival order (bit-reproducible across feed modes).
+/// Empty weights = every arrival is tier 0 and NO randomness is drawn, so
+/// tier-less experiments stay bit-identical (passivity).
+class TierSampler {
+ public:
+  TierSampler() = default;
+  TierSampler(const std::vector<double>& weights, std::uint64_t seed);
+
+  /// True when a non-empty mix was configured (next() will draw).
+  bool active() const { return !cum_.empty(); }
+  /// Tier of the next arrival (0 without a configured mix).
+  int next();
+
+ private:
+  std::vector<double> cum_;  // normalized cumulative weights
+  Rng rng_;
+};
+
 }  // namespace loki::trace

@@ -1,0 +1,83 @@
+#include "trace/replay.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace loki::trace {
+
+void save_replay_csv(const QueryReplay& replay, const std::string& path) {
+  CsvTable t({"t_s", "task", "tier"});
+  for (const ReplayRow& r : replay.rows) {
+    t.add_row({r.t_s, static_cast<std::int64_t>(r.task),
+               static_cast<std::int64_t>(r.tier)});
+  }
+  t.write(path);
+}
+
+QueryReplay load_replay_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_replay_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line)) {
+    throw std::runtime_error("load_replay_csv: empty file " + path);
+  }
+  QueryReplay replay;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string t_str, task_str, tier_str;
+    if (!std::getline(row, t_str, ',') ||
+        !std::getline(row, task_str, ',') ||
+        !std::getline(row, tier_str, ',')) {
+      throw std::runtime_error("load_replay_csv: malformed row: " + line);
+    }
+    ReplayRow r;
+    try {
+      r.t_s = std::stod(t_str);
+      r.task = std::stoi(task_str);
+      r.tier = std::stoi(tier_str);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_replay_csv: non-numeric row: " + line);
+    }
+    if (r.t_s < 0.0 || !std::isfinite(r.t_s)) {
+      throw std::runtime_error("load_replay_csv: bad timestamp: " + line);
+    }
+    if (r.task < 0) {
+      throw std::runtime_error("load_replay_csv: negative task: " + line);
+    }
+    if (r.tier < 0 || r.tier >= 8) {
+      throw std::runtime_error("load_replay_csv: tier out of range: " + line);
+    }
+    if (!replay.rows.empty() && r.t_s < replay.rows.back().t_s) {
+      throw std::runtime_error("load_replay_csv: timestamps not sorted: " +
+                               line);
+    }
+    replay.rows.push_back(r);
+  }
+  return replay;
+}
+
+DemandCurve replay_demand_curve(const QueryReplay& replay, double interval_s) {
+  if (interval_s <= 0.0) {
+    throw std::runtime_error("replay_demand_curve: interval must be > 0");
+  }
+  DemandCurve curve;
+  curve.interval_s = interval_s;
+  const std::size_t bins =
+      replay.empty()
+          ? 0
+          : static_cast<std::size_t>(replay.duration_s() / interval_s) + 1;
+  curve.qps.assign(bins, 0.0);
+  for (const ReplayRow& r : replay.rows) {
+    const std::size_t b = static_cast<std::size_t>(r.t_s / interval_s);
+    curve.qps[b < bins ? b : bins - 1] += 1.0 / interval_s;
+  }
+  return curve;
+}
+
+}  // namespace loki::trace

@@ -316,6 +316,58 @@ TEST(EpochWarmStart, ResetForcesColdButIdenticalPlans) {
   EXPECT_EQ(third.solver.epoch_cache_skips, 0);
 }
 
+TEST(EpochWarmStart, SteadyOverloadDemandSkipsReSolvesBitIdentically) {
+  // Regression: the overload step used to cold re-solve its two-stage MILP
+  // every epoch even at perfectly steady demand (it never had an epoch
+  // cache). At 5000 QPS the 20-worker cluster (~1000 QPS capacity) lands on
+  // the overload step every epoch; from the second epoch on the steady
+  // re-plan must be a cache skip producing the bit-identical plan.
+  Fixture f;
+  serving::MilpAllocator warm(f.cfg, &f.graph, f.profiles);
+  serving::AllocatorConfig cold_cfg = f.cfg;
+  cold_cfg.warm_start_across_epochs = false;
+  serving::MilpAllocator cold(cold_cfg, &f.graph, f.profiles);
+
+  serving::AllocationPlan warm_prev, cold_prev;
+  for (int e = 0; e < 5; ++e) {
+    auto run = [&](serving::MilpAllocator& alloc,
+                   serving::AllocationPlan& prev) {
+      serving::PlanRequest req;
+      req.demand_qps = 5000.0;
+      req.mult = f.mult;
+      req.epoch = e;
+      req.previous_plan = e > 0 ? &prev : nullptr;
+      auto result = alloc.plan(req);
+      prev = result.plan;
+      return result;
+    };
+    const auto warm_res = run(warm, warm_prev);
+    const auto cold_res = run(cold, cold_prev);
+    ASSERT_EQ(warm_res.plan.mode, serving::ScalingMode::kOverload);
+    ASSERT_LT(warm_res.plan.served_fraction, 1.0);
+    ASSERT_EQ(comparable_text(warm_prev), comparable_text(cold_prev))
+        << "warm and cold overload plans diverged at epoch " << e;
+
+    const auto* ov = step_stats(warm_res, "overload");
+    ASSERT_NE(ov, nullptr);
+    if (e == 0) {
+      EXPECT_GT(ov->milp_solves, 0);
+      EXPECT_EQ(ov->epoch_cache_skips, 0);
+    } else if (e >= 3) {
+      // The continuity key needs two epochs to stabilize (epoch 0 plans
+      // without a previous plan, so epoch 2's hosted-variant key still
+      // differs from the memoized one). From epoch 3 on every step
+      // (hardware/accuracy infeasibility memo, overload result memo) is
+      // served from cache — no MILP runs at all.
+      EXPECT_GT(ov->epoch_cache_skips, 0) << "epoch " << e;
+      EXPECT_EQ(ov->milp_solves, 0) << "epoch " << e;
+      EXPECT_EQ(warm_res.solver.milp_solves, 0) << "epoch " << e;
+    }
+    EXPECT_GT(step_stats(cold_res, "overload")->milp_solves, 0);
+    EXPECT_EQ(cold_res.solver.epoch_cache_skips, 0);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Near-identical warm tier (opt-in)
 // ---------------------------------------------------------------------------
